@@ -1,0 +1,13 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark runs its experiment exactly once under pytest-benchmark
+timing (``rounds=1``) — experiments are deterministic simulations, so
+repeated rounds would only re-measure identical work.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

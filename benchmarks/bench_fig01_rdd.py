@@ -1,0 +1,16 @@
+"""Benchmark: Fig. 1 — reuse-distance distributions."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig01_rdd
+
+
+def test_fig01_rdd(benchmark, save_report):
+    results = run_once(benchmark, fig01_rdd.run_fig1)
+    report = fig01_rdd.format_report(results)
+    save_report("fig01_rdd", report)
+    # Shape check: every Fig. 1 benchmark has a measurable RDD with most
+    # reuse below d_max (the paper's right-hand bars are high).
+    for result in results:
+        assert result.counts.sum() > 0
+        assert result.fraction_below_dmax > 0.5

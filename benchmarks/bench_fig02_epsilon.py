@@ -1,0 +1,17 @@
+"""Benchmark: Fig. 2 — DRRIP misses vs epsilon."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig02_epsilon
+
+
+def test_fig02_epsilon(benchmark, save_report):
+    sweeps = run_once(benchmark, fig02_epsilon.run_fig2)
+    report = fig02_epsilon.format_report(sweeps)
+    save_report("fig02_epsilon", report)
+    # Shape check: epsilon matters — the extremes differ for at least one
+    # benchmark (the paper's two opposing trends).
+    spread = [
+        abs(s.normalized()[1 / 4] - s.normalized()[1 / 128]) for s in sweeps
+    ]
+    assert max(spread) > 0.005

@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 4 — static PDP vs DRRIP with the best epsilon."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig04_static_pdp
+
+
+def test_fig04_static_pdp(benchmark, save_report):
+    results = run_once(benchmark, fig04_static_pdp.run_fig4, fast=True)
+    report = fig04_static_pdp.format_report(results)
+    save_report("fig04_static_pdp", report)
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    spdp_b = mean([r.spdp_b_reduction for r in results])
+    spdp_nb = mean([r.spdp_nb_reduction for r in results])
+    drrip_best = mean([r.drrip_best_reduction for r in results])
+    # Paper shapes: both SPDP variants beat tuned DRRIP on average, and
+    # bypass (SPDP-B) beats no-bypass (SPDP-NB).
+    assert spdp_b >= spdp_nb
+    assert spdp_b > drrip_best
+    # Best static PDs differ across benchmarks (Sec. 2.3).
+    assert len({r.best_pd_b for r in results}) > 3

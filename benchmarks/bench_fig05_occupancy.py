@@ -1,0 +1,35 @@
+"""Benchmark: Fig. 5 — access/occupancy breakdown + xalancbmk windows."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig05_occupancy
+
+
+def _by_key(results, name, policy):
+    return next(r for r in results if r.name == name and r.policy == policy)
+
+
+def test_fig05_occupancy(benchmark, save_report):
+    def run_both():
+        return fig05_occupancy.run_fig5a(fast=True), fig05_occupancy.run_fig5b(fast=True)
+
+    occupancy, windows = run_once(benchmark, run_both)
+    report = fig05_occupancy.format_report(occupancy, windows)
+    save_report("fig05_occupancy", report)
+
+    for name in fig05_occupancy.FIG5_BENCHMARKS:
+        drrip = _by_key(occupancy, name, "DRRIP")
+        spdp_b = _by_key(occupancy, name, "SPDP-B")
+        # Sec. 2.3: under DRRIP some lines occupy the cache for hundreds
+        # of accesses without reuse; under PDP no line's occupancy goes
+        # far beyond its protecting distance.
+        assert (
+            spdp_b.breakdown.max_eviction_occupancy
+            < drrip.breakdown.max_eviction_occupancy
+        )
+        # PDP converts wasted occupancy into hits.
+        assert spdp_b.breakdown.hits > drrip.breakdown.hits
+        # Bypass engages under SPDP-B (89% of h264ref misses in the paper).
+        assert spdp_b.bypass_fraction > 0.05
+    # Fig. 5b: the three windows peak at different distances.
+    assert len({w.peak_distance for w in windows}) == 3

@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 6 — E(d_p) model vs measured hit rate."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig06_model
+
+
+def test_fig06_model(benchmark, save_report):
+    fits = run_once(benchmark, fig06_model.run_fig6, fast=True)
+    report = fig06_model.format_report(fits)
+    save_report("fig06_model", report)
+    # The model must track the measured curve (paper: "approximates the
+    # actual hit rate well").
+    correlations = [fit.correlation for fit in fits]
+    assert sum(c > 0.6 for c in correlations) >= 4
+    # Around the maximum the model's argmax is close to the measured one
+    # for most benchmarks.
+    close = sum(
+        abs(fit.model_best_pd - fit.measured_best_pd) <= 48 for fit in fits
+    )
+    assert close >= 3

@@ -1,0 +1,29 @@
+"""Benchmark: Fig. 9 — sampler / counter-step parameter exploration."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig09_params
+
+
+def test_fig09_params(benchmark, save_report):
+    results = run_once(benchmark, fig09_params.run_fig9, fast=True)
+    report = fig09_params.format_report(results)
+    save_report("fig09_params", report)
+    # Paper shapes: the Real sampler is essentially identical to Full, and
+    # S_c up to 4 stays close; S_c = 8 may drift on a few benchmarks.
+    for result in results:
+        normalized = result.normalized()
+        assert abs(normalized["Real, Sc=1"] - 1.0) < 0.25
+        assert abs(normalized["Real, Sc=4"] - 1.0) < 0.30
+
+
+def test_table2_pd_distribution(benchmark, save_report):
+    results = run_once(benchmark, fig09_params.run_fig9, fast=True)
+    buckets = fig09_params.pd_distribution(results)
+    lines = ["Table 2 — PD distribution (Full sampler)"]
+    lines += [f"  {k}: {v}" for k, v in buckets.items()]
+    save_report("table2_pd_distribution", "\n".join(lines))
+    # All 16 benchmarks have an optimal PD <= d_max = 256, spread over
+    # several ranges (Table 2).
+    assert sum(buckets.values()) == len(results)
+    assert sum(1 for v in buckets.values() if v > 0) >= 2

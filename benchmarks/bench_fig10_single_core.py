@@ -1,0 +1,27 @@
+"""Benchmark: Fig. 10 — the headline single-core policy comparison."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig10_single_core
+
+
+def test_fig10_single_core(benchmark, save_report):
+    rows = run_once(benchmark, fig10_single_core.run_fig10)
+    report = fig10_single_core.format_report(rows)
+    save_report("fig10_single_core", report)
+    avg = fig10_single_core.averages(rows)
+
+    # The paper's headline ordering (Sec. 6.2):
+    # dynamic PDP-8 improves IPC over DIP, beating DRRIP/EELRU/SDP...
+    assert avg.ipc_improvement["PDP-8"] > 0.5
+    assert avg.ipc_improvement["PDP-8"] > avg.ipc_improvement["DRRIP"]
+    assert avg.ipc_improvement["PDP-8"] > avg.ipc_improvement["EELRU"]
+    assert avg.ipc_improvement["PDP-8"] > avg.ipc_improvement["SDP"]
+    # ... with more RPD bits helping: PDP-8 >= PDP-3 >= PDP-2 (allowing
+    # a small tolerance for simulation noise).
+    assert avg.ipc_improvement["PDP-8"] >= avg.ipc_improvement["PDP-3"] - 0.3
+    assert avg.ipc_improvement["PDP-3"] >= avg.ipc_improvement["PDP-2"] - 0.3
+    # The static oracle bounds the dynamic policy (Sec. 6.2).
+    assert avg.miss_reduction["SPDP-B"] >= avg.miss_reduction["PDP-8"] - 0.5
+    # Fig. 10c: PDP bypasses a large fraction of accesses on average.
+    assert avg.bypass_fraction["PDP-8"] > 0.15

@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 11 — adaptation to program phases."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig11_phases
+
+
+def test_fig11_phases(benchmark, save_report):
+    results = run_once(benchmark, fig11_phases.run_fig11, fast=True)
+    report = fig11_phases.format_report(results)
+    save_report("fig11_phases", report)
+    # PDP recomputes the PD across phases: the trajectory visits more than
+    # one value on phase-changing workloads (Fig. 11c).
+    adapting = sum(1 for r in results if len(r.pd_values_seen) > 1)
+    assert adapting >= 3
+    # The reset interval has a measurable effect for at least one workload
+    # (Fig. 11a).
+    effects = []
+    for result in results:
+        values = list(result.ipc_by_interval.values())
+        effects.append(max(values) / min(values) - 1)
+    assert max(effects) > 0.002

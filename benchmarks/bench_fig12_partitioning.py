@@ -1,0 +1,26 @@
+"""Benchmark: Fig. 12 — shared-cache partitioning at 4 and 16 cores."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig12_partitioning
+
+
+def test_fig12_4core(benchmark, save_report):
+    results = run_once(benchmark, fig12_partitioning.run_fig12, 4, 4)
+    report = fig12_partitioning.format_report({4: results})
+    save_report("fig12_partitioning_4core", report)
+    avg = fig12_partitioning.averages(results)
+    # 4 cores: PD-based partitioning is competitive with TA-DRRIP
+    # (the paper reports slightly-higher averages).
+    assert avg["PDP"]["W"] > 0.97
+
+
+def test_fig12_16core(benchmark, save_report):
+    results = run_once(benchmark, fig12_partitioning.run_fig12, 16, 3)
+    report = fig12_partitioning.format_report({16: results})
+    save_report("fig12_partitioning_16core", report)
+    avg = fig12_partitioning.averages(results)
+    # 16 cores: PD-based partitioning beats TA-DRRIP on the weighted IPC
+    # and scales better than UCP (the paper's scaling claim).
+    assert avg["PDP"]["W"] > 1.0
+    assert avg["PDP"]["W"] >= avg["UCP"]["W"]

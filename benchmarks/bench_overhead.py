@@ -1,0 +1,19 @@
+"""Benchmark: Sec. 3 / 6.2 — hardware overhead and PD-search cycles."""
+
+from _bench_utils import run_once
+
+from repro.experiments import overhead_report
+
+
+def test_overhead(benchmark, save_report):
+    summary = run_once(benchmark, overhead_report.run_overhead)
+    report = overhead_report.format_report(summary)
+    save_report("overhead", report)
+    rows = {row.policy: row for row in summary.rows}
+    # Paper numbers for a 2MB LLC: PDP-2 ~0.6%, PDP-3 ~0.8%, DRRIP ~0.4%,
+    # DIP ~0.8% of LLC SRAM.
+    assert 0.004 < rows["PDP-2"].fraction_of_llc < 0.007
+    assert 0.006 < rows["PDP-3"].fraction_of_llc < 0.009
+    assert rows["DRRIP"].fraction_of_llc < rows["DIP"].fraction_of_llc
+    # The PD search is negligible against the 512K-access interval.
+    assert summary.search_fraction_of_interval < 0.02

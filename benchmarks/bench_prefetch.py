@@ -1,0 +1,21 @@
+"""Benchmark: Sec. 6.5 — prefetch-aware PDP."""
+
+from _bench_utils import run_once
+
+from repro.experiments import prefetch_study
+
+
+def test_prefetch_aware_pdp(benchmark, save_report):
+    results = run_once(benchmark, prefetch_study.run_prefetch_study, fast=True)
+    report = prefetch_study.format_report(results)
+    save_report("prefetch", report)
+    # The prefetcher actually fires on these profiles.
+    assert any(r.prefetches_issued > 0 for r in results)
+    # Paper shape: the prefetch-aware variants (pd1 / bypass) do not lose
+    # to the unaware PDP on average — prefetched lines stop polluting.
+    mean = lambda xs: sum(xs) / len(xs)  # noqa: E731
+    unaware = mean([r.hit_rate_by_mode["none"] for r in results])
+    pd1 = mean([r.hit_rate_by_mode["pd1"] for r in results])
+    bypass = mean([r.hit_rate_by_mode["bypass"] for r in results])
+    assert pd1 >= unaware - 0.01
+    assert bypass >= unaware - 0.01

@@ -1,0 +1,75 @@
+"""Benchmark: extended comparison against Sec. 7 related-work policies.
+
+Not a paper figure — an appendix comparing PDP against the two Sec. 7
+mechanisms we additionally implemented: SHiP (signature-grouped RRIP
+insertion) and the counter-based expiration policy, plus Belady's OPT as
+the offline ceiling.
+"""
+
+import statistics
+
+from _bench_utils import run_once
+
+from repro.core.pdp_policy import PDPPolicy
+from repro.experiments.common import (
+    EXPERIMENT_GEOMETRY,
+    RECOMPUTE_INTERVAL,
+    default_trace,
+    format_table,
+)
+from repro.policies.belady import BeladyPolicy
+from repro.policies.counter_based import CounterBasedPolicy
+from repro.policies.lip_bip_dip import DIPPolicy
+from repro.policies.ship import SHiPPolicy
+from repro.sim.metrics import miss_reduction_percent
+from repro.sim.single_core import run_llc
+
+BENCHMARKS = (
+    "403.gcc",
+    "436.cactusADM",
+    "437.leslie3d",
+    "450.soplex",
+    "464.h264ref",
+    "473.astar",
+)
+
+
+def test_related_work_comparison(benchmark, save_report):
+    def run():
+        rows = []
+        for name in BENCHMARKS:
+            trace = default_trace(name, fast=True)
+            dip = run_llc(trace, DIPPolicy(), EXPERIMENT_GEOMETRY)
+            series = {
+                "SHiP": SHiPPolicy(),
+                "counter": CounterBasedPolicy(),
+                "PDP-8": PDPPolicy(recompute_interval=RECOMPUTE_INTERVAL),
+                "OPT": BeladyPolicy(trace.addresses, bypass=True),
+            }
+            reductions = {
+                label: miss_reduction_percent(
+                    run_llc(trace, policy, EXPERIMENT_GEOMETRY).misses, dip.misses
+                )
+                for label, policy in series.items()
+            }
+            rows.append((name, reductions))
+        return rows
+
+    rows = run_once(benchmark, run)
+    labels = list(rows[0][1])
+    report = format_table(
+        ["benchmark"] + labels,
+        [[n] + [f"{r[label]:6.1f}" for label in labels] for n, r in rows],
+        title="Related work — miss reduction vs DIP (%), OPT = offline ceiling",
+    )
+    save_report("related_work", report)
+
+    mean = {
+        label: statistics.mean(r[label] for _, r in rows) for label in labels
+    }
+    # OPT dominates every online policy (sanity of the whole harness).
+    for label in ("SHiP", "counter", "PDP-8"):
+        assert mean["OPT"] >= mean[label]
+    # PDP remains the best online policy on average in this pool.
+    assert mean["PDP-8"] >= mean["SHiP"] - 0.5
+    assert mean["PDP-8"] >= mean["counter"] - 0.5

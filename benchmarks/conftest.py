@@ -1,0 +1,26 @@
+"""Pytest wiring for the benchmark directory."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# Make _bench_utils importable regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_report():
+    """Persist a report under benchmarks/results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

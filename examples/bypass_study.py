@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Bypass study (Sec. 2.3 of the paper): why non-inclusive PDP wins.
+
+Runs static PDP with and without bypass (SPDP-B vs SPDP-NB) across a PD
+sweep on the bypass-sensitive h264ref-like profile, printing the
+miss-vs-PD curves and the access/occupancy breakdown of Fig. 5a. The
+bypass variant protects resident lines by dropping fills when every line
+is still protected — on this profile it bypasses most misses, like the
+paper's 89% for 464.h264ref.
+
+Run:  python examples/bypass_study.py
+"""
+
+from __future__ import annotations
+
+from repro import ExperimentConfig, make_benchmark_trace
+from repro.core.pdp_policy import PDPPolicy
+from repro.sim.single_core import run_llc
+
+
+def main() -> None:
+    config = ExperimentConfig()
+    trace = make_benchmark_trace("464.h264ref", length=40_000, num_sets=config.num_sets)
+    print(f"trace: {trace}\n")
+
+    print(f"{'PD':>5s} {'SPDP-NB misses':>15s} {'SPDP-B misses':>14s} {'bypass%':>8s}")
+    best = {"nb": (None, float("inf")), "b": (None, float("inf"))}
+    for pd in range(16, 257, 24):
+        nb = run_llc(trace, PDPPolicy(static_pd=pd, bypass=False), config.llc)
+        b = run_llc(trace, PDPPolicy(static_pd=pd, bypass=True), config.llc)
+        print(
+            f"{pd:5d} {nb.misses:15d} {b.misses:14d} {b.bypass_fraction:8.1%}"
+        )
+        if nb.misses < best["nb"][1]:
+            best["nb"] = (pd, nb.misses)
+        if b.misses < best["b"][1]:
+            best["b"] = (pd, b.misses)
+
+    print(
+        f"\nbest SPDP-NB: PD={best['nb'][0]} ({best['nb'][1]} misses); "
+        f"best SPDP-B: PD={best['b'][0]} ({best['b'][1]} misses)"
+    )
+
+    # Occupancy breakdown at the best bypass PD (Fig. 5a view).
+    result = run_llc(
+        trace,
+        PDPPolicy(static_pd=best["b"][0], bypass=True),
+        config.llc,
+        track_occupancy=True,
+    )
+    breakdown = result.extra["occupancy"]
+    access = breakdown.access_fractions()
+    print("\naccess breakdown at the best bypass PD:")
+    for key, value in access.items():
+        print(f"  {key:14s} {value:6.1%}")
+    print(f"  max eviction occupancy: {breakdown.max_eviction_occupancy} accesses")
+
+
+if __name__ == "__main__":
+    main()

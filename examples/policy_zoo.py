@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Policy zoo: every implemented policy on every SPEC-like benchmark.
+
+Runs the full policy roster — classical baselines, the paper's
+comparison set, dynamic PDP and the Sec. 6.3 extensions, plus offline
+Belady OPT as the ceiling — across the 16-benchmark suite, and prints a
+hit-rate matrix. A compact way to see each policy's personality:
+LRU-friendly vs thrashing vs streaming vs bypass-hungry workloads.
+
+Run:  python examples/policy_zoo.py          (about a minute)
+      python examples/policy_zoo.py --fast   (quarter-size traces)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import (
+    BeladyPolicy,
+    ClassifiedPDPPolicy,
+    DIPPolicy,
+    DRRIPPolicy,
+    EELRUPolicy,
+    ExperimentConfig,
+    LRUPolicy,
+    PDPPolicy,
+    SDPPolicy,
+    make_benchmark_trace,
+    run_llc,
+)
+from repro.workloads.spec_like import SINGLE_CORE_SUITE
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    length = 10_000 if fast else 40_000
+    config = ExperimentConfig()
+
+    def factories(trace):
+        return {
+            "LRU": LRUPolicy(),
+            "DIP": DIPPolicy(),
+            "DRRIP": DRRIPPolicy(),
+            "EELRU": EELRUPolicy(),
+            "SDP": SDPPolicy(),
+            "PDP": PDPPolicy(recompute_interval=config.recompute_interval),
+            "PDPcls": ClassifiedPDPPolicy(
+                recompute_interval=config.recompute_interval, sampler_mode="full"
+            ),
+            "OPT": BeladyPolicy(trace.addresses, bypass=True),
+        }
+
+    names = None
+    print("hit rate by policy (OPT = offline Belady ceiling)\n")
+    totals: dict[str, float] = {}
+    for benchmark in SINGLE_CORE_SUITE:
+        trace = make_benchmark_trace(benchmark, length=length, num_sets=config.num_sets)
+        row = {}
+        for label, policy in factories(trace).items():
+            row[label] = run_llc(trace, policy, config.llc).hit_rate
+            totals[label] = totals.get(label, 0.0) + row[label]
+        if names is None:
+            names = list(row)
+            print(f"{'benchmark':18s} " + " ".join(f"{n:>7s}" for n in names))
+        print(
+            f"{benchmark:18s} "
+            + " ".join(f"{row[n]:7.3f}" for n in names)
+        )
+    count = len(SINGLE_CORE_SUITE)
+    print(
+        f"{'MEAN':18s} " + " ".join(f"{totals[n] / count:7.3f}" for n in names)
+    )
+    print(
+        "\nReading guide: PDP tracks OPT's ordering on protection-friendly"
+        " profiles (cactusADM, soplex, hmmer, h264ref); streaming rows"
+        " (milc, lbm, libquantum) are near zero for every online policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list-benchmarks`` — the available SPEC-like workload profiles.
+- ``list-policies`` — registered replacement policies.
+- ``run`` — run one benchmark under one policy and print statistics.
+- ``rdd`` — print a benchmark's reuse-distance distribution.
+- ``sweep`` — static-PD sweep (the Fig. 4 per-benchmark curve).
+- ``experiment`` — run one of the paper's figure/table drivers.
+- ``overhead`` — the hardware overhead report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import common as experiment_common
+
+
+def _cmd_list_benchmarks(args) -> int:
+    from repro.workloads.spec_like import SPEC_LIKE_PROFILES
+
+    for name, profile in sorted(SPEC_LIKE_PROFILES.items()):
+        kinds = []
+        for component in profile.components:
+            if component.is_infinite:
+                kinds.append(f"stream({component.weight:g})")
+            else:
+                kinds.append(f"[{component.low},{component.high}]({component.weight:g})")
+        pc = "pc-informative" if profile.pc_informative else "pc-misleading"
+        print(f"{name:18s} {pc:15s} {' + '.join(kinds)}")
+    return 0
+
+
+def _cmd_list_policies(args) -> int:
+    from repro.policies.base import registered_policies
+
+    for name in registered_policies():
+        print(name)
+    return 0
+
+
+def _make_policy(name: str, config, trace):
+    """Instantiate a policy by CLI name, wiring experiment defaults."""
+    from repro.core.classified_pdp import ClassifiedPDPPolicy
+    from repro.core.pdp_policy import PDPPolicy
+    from repro.policies.base import make_policy
+    from repro.policies.belady import BeladyPolicy
+
+    if name == "pdp":
+        return PDPPolicy(recompute_interval=config.recompute_interval)
+    if name == "pdp-nb":
+        return PDPPolicy(recompute_interval=config.recompute_interval, bypass=False)
+    if name == "pdp-classified":
+        return ClassifiedPDPPolicy(recompute_interval=config.recompute_interval)
+    if name == "belady":
+        return BeladyPolicy(trace.addresses, bypass=True)
+    return make_policy(name)
+
+
+def _cmd_run(args) -> int:
+    from repro.sim.single_core import run_llc
+    from repro.workloads.spec_like import make_benchmark_trace
+
+    config = experiment_common.experiment_config()
+    trace = make_benchmark_trace(
+        args.benchmark, length=args.length, num_sets=config.num_sets, seed=args.seed
+    )
+    policy = _make_policy(args.policy, config, trace)
+    result = run_llc(trace, policy, config.llc, timing=experiment_common.TIMING)
+    print(f"benchmark : {args.benchmark} ({len(trace)} accesses)")
+    print(f"policy    : {args.policy}")
+    print(f"hit rate  : {result.hit_rate:.4f}")
+    print(f"MPKI      : {result.mpki:.2f}")
+    print(f"IPC       : {result.ipc:.3f}")
+    print(f"bypass    : {result.bypass_fraction:.1%}")
+    if "final_pd" in result.extra:
+        print(f"final PD  : {result.extra['final_pd']}")
+    return 0
+
+
+def _cmd_rdd(args) -> int:
+    from repro.traces.analysis import fraction_below, reuse_distance_distribution
+    from repro.workloads.spec_like import make_benchmark_trace
+
+    config = experiment_common.experiment_config()
+    trace = make_benchmark_trace(
+        args.benchmark, length=args.length, num_sets=config.num_sets
+    )
+    counts, long_count, total = reuse_distance_distribution(
+        trace, num_sets=config.num_sets, d_max=config.d_max
+    )
+    below = fraction_below(trace, config.num_sets, config.d_max)
+    print(f"# RDD of {args.benchmark}: {total} accesses, "
+          f"{int(counts.sum())} reuses <= d_max ({below:.1%} of reuses)")
+    bucket = max(1, config.d_max // args.bins)
+    for start in range(1, config.d_max + 1, bucket):
+        count = int(counts[start : start + bucket].sum())
+        bar = "#" * min(60, count * 60 // max(1, int(counts.max()) * bucket))
+        print(f"{start:4d}-{min(start + bucket - 1, config.d_max):4d} {count:8d} {bar}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.sim.runner import sweep_static_pd
+    from repro.workloads.spec_like import make_benchmark_trace
+
+    config = experiment_common.experiment_config()
+    trace = make_benchmark_trace(
+        args.benchmark, length=args.length, num_sets=config.num_sets
+    )
+    grid = list(range(16, config.d_max + 1, args.step))
+    results = sweep_static_pd(trace, config.llc, grid, bypass=not args.no_bypass)
+    best = min(grid, key=lambda pd: results[pd].misses)
+    print(f"# static PD sweep on {args.benchmark} "
+          f"({'SPDP-NB' if args.no_bypass else 'SPDP-B'})")
+    for pd in grid:
+        marker = "  <= best" if pd == best else ""
+        print(f"PD {pd:4d}: misses {results[pd].misses:8d} "
+              f"hitrate {results[pd].hit_rate:.4f}{marker}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig1": ("fig01_rdd", "run_fig1", "format_report"),
+    "fig2": ("fig02_epsilon", "run_fig2", "format_report"),
+    "fig4": ("fig04_static_pdp", "run_fig4", "format_report"),
+    "fig6": ("fig06_model", "run_fig6", "format_report"),
+    "fig9": ("fig09_params", "run_fig9", "format_report"),
+    "fig10": ("fig10_single_core", "run_fig10", "format_report"),
+    "fig11": ("fig11_phases", "run_fig11", "format_report"),
+}
+
+
+def _cmd_experiment(args) -> int:
+    import importlib
+
+    if args.name == "fig5":
+        from repro.experiments import fig05_occupancy
+
+        print(
+            fig05_occupancy.format_report(
+                fig05_occupancy.run_fig5a(fast=args.fast),
+                fig05_occupancy.run_fig5b(fast=args.fast),
+            )
+        )
+        return 0
+    if args.name == "fig12":
+        from repro.experiments import fig12_partitioning
+
+        results = {
+            cores: fig12_partitioning.run_fig12(cores, num_mixes=args.mixes)
+            for cores in (4, 16)
+        }
+        print(fig12_partitioning.format_report(results))
+        return 0
+    if args.name == "prefetch":
+        from repro.experiments import prefetch_study
+
+        print(prefetch_study.format_report(prefetch_study.run_prefetch_study(args.fast)))
+        return 0
+    try:
+        module_name, run_name, fmt_name = _EXPERIMENTS[args.name]
+    except KeyError:
+        known = ", ".join(sorted(_EXPERIMENTS) + ["fig5", "fig12", "prefetch"])
+        print(f"unknown experiment {args.name!r}; known: {known}", file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    results = getattr(module, run_name)(fast=args.fast)
+    print(getattr(module, fmt_name)(results))
+    return 0
+
+
+def _cmd_overhead(args) -> int:
+    from repro.experiments import overhead_report
+
+    print(overhead_report.format_report(overhead_report.run_overhead()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PDP (MICRO 2012) reproduction — cache policy experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-benchmarks").set_defaults(func=_cmd_list_benchmarks)
+    sub.add_parser("list-policies").set_defaults(func=_cmd_list_policies)
+
+    run = sub.add_parser("run", help="run one benchmark under one policy")
+    run.add_argument("--benchmark", required=True)
+    run.add_argument("--policy", default="pdp")
+    run.add_argument("--length", type=int, default=40_000)
+    run.add_argument("--seed", type=int, default=None)
+    run.set_defaults(func=_cmd_run)
+
+    rdd = sub.add_parser("rdd", help="print a benchmark's RDD")
+    rdd.add_argument("--benchmark", required=True)
+    rdd.add_argument("--length", type=int, default=40_000)
+    rdd.add_argument("--bins", type=int, default=16)
+    rdd.set_defaults(func=_cmd_rdd)
+
+    sweep = sub.add_parser("sweep", help="static protecting-distance sweep")
+    sweep.add_argument("--benchmark", required=True)
+    sweep.add_argument("--length", type=int, default=40_000)
+    sweep.add_argument("--step", type=int, default=16)
+    sweep.add_argument("--no-bypass", action="store_true")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    experiment = sub.add_parser("experiment", help="run a paper figure driver")
+    experiment.add_argument("name")
+    experiment.add_argument("--fast", action="store_true")
+    experiment.add_argument("--mixes", type=int, default=3)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    sub.add_parser("overhead", help="hardware overhead report").set_defaults(
+        func=_cmd_overhead
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Dynamic PD recomputation: sampler + counter array + periodic search.
+
+The paper recomputes the PD every 512K LLC accesses (Sec. 3) and resets the
+RD counters so each interval sees a fresh RDD — this is what lets PDP adapt
+to program phases (Sec. 6.4, Fig. 11). The engine also records the PD
+history, which reproduces Fig. 11c directly.
+"""
+
+from __future__ import annotations
+
+from repro.core.hit_rate_model import HitRateModel
+from repro.core.rdd import RDCounterArray
+from repro.core.sampler import RDSampler
+
+
+class PDEngine:
+    """Drives the dynamic protecting distance for one cache.
+
+    Args:
+        num_sets: sets of the monitored cache.
+        associativity: W, used both as d_e and the minimum PD.
+        d_max: maximum protecting distance.
+        step: S_c counter granularity.
+        recompute_interval: LLC accesses between PD recomputations
+            (512K in the paper; scale down for short traces).
+        sampler_mode: "real" (32 sets x 32-entry FIFO) or "full" (exact).
+        initial_pd: PD used before the first recomputation.
+    """
+
+    def __init__(
+        self,
+        num_sets: int,
+        associativity: int = 16,
+        d_max: int = 256,
+        step: int = 4,
+        recompute_interval: int = 4096,
+        sampler_mode: str = "real",
+        initial_pd: int | None = None,
+    ) -> None:
+        if sampler_mode not in ("real", "full"):
+            raise ValueError(f"sampler_mode must be 'real' or 'full', got {sampler_mode!r}")
+        self.associativity = associativity
+        self.d_max = d_max
+        self.recompute_interval = recompute_interval
+        self.counters = RDCounterArray(d_max=d_max, step=step)
+        factory = RDSampler.real if sampler_mode == "real" else RDSampler.full
+        self.sampler = factory(
+            num_sets,
+            d_max=d_max,
+            on_distance=self.counters.record_distance,
+            on_access=self.counters.record_access,
+        )
+        self.model = HitRateModel(self.counters, associativity=associativity)
+        self.current_pd = initial_pd if initial_pd is not None else associativity
+        self.accesses_since_recompute = 0
+        self.recompute_count = 0
+        #: (access_number, pd) pairs — the Fig. 11c series.
+        self.pd_history: list[tuple[int, int]] = [(0, self.current_pd)]
+        self._total_accesses = 0
+
+    def observe(self, set_index: int, address: int) -> None:
+        """Feed one LLC access; may trigger a PD recomputation."""
+        self.sampler.observe(set_index, address)
+        self._total_accesses += 1
+        self.accesses_since_recompute += 1
+        if self.accesses_since_recompute >= self.recompute_interval:
+            self.recompute()
+
+    def recompute(self) -> int:
+        """Run the E(d_p) search, update the PD, reset the counters."""
+        self.current_pd = self.model.best_pd(
+            min_pd=min(self.associativity, self.d_max),
+            default_pd=self.current_pd,
+        )
+        self.recompute_count += 1
+        self.pd_history.append((self._total_accesses, self.current_pd))
+        self.counters.reset()
+        self.accesses_since_recompute = 0
+        return self.current_pd
+
+
+__all__ = ["PDEngine"]

@@ -1,0 +1,107 @@
+"""The RD counter array: the dynamically measured RDD (Sec. 3).
+
+Counter ``i`` counts sampler-measured reuse distances in the range
+``(i*S_c, (i+1)*S_c]`` — the paper's step counter S_c packs a consecutive
+range of RDs into one counter to save space and search time. A 32-bit
+counter tracks the total number of sampled accesses N_t. All counters are
+16-bit saturating; when one saturates, the whole array freezes to preserve
+the RDD's shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RDCounterArray:
+    """Saturating counter array storing {N_i} and N_t.
+
+    Args:
+        d_max: largest distance recorded; longer distances are dropped
+            (they land in the "long lines" term N_L = N_t - sum N_i).
+        step: S_c, the range of RDs per counter.
+        counter_bits: width of each N_i counter (16 in the paper).
+        total_bits: width of the N_t counter (32 in the paper).
+    """
+
+    def __init__(
+        self,
+        d_max: int = 256,
+        step: int = 4,
+        counter_bits: int = 16,
+        total_bits: int = 32,
+    ) -> None:
+        if d_max % step:
+            raise ValueError(f"d_max ({d_max}) must be a multiple of step ({step})")
+        self.d_max = d_max
+        self.step = step
+        self.counter_max = (1 << counter_bits) - 1
+        self.total_max = (1 << total_bits) - 1
+        self.num_counters = d_max // step
+        self.counts = np.zeros(self.num_counters, dtype=np.int64)
+        self.total = 0
+        self.frozen = False
+
+    def record_access(self) -> None:
+        """Count one sampled access toward N_t."""
+        if self.frozen:
+            return
+        self.total += 1
+        if self.total >= self.total_max:
+            self.frozen = True
+
+    def record_distance(self, distance: int) -> None:
+        """Count one measured reuse distance toward its bin.
+
+        When any counter saturates, the whole array freezes to preserve
+        the RDD's shape (paper Sec. 3).
+        """
+        if self.frozen:
+            return
+        if distance < 1 or distance > self.d_max:
+            return
+        index = (distance - 1) // self.step
+        self.counts[index] += 1
+        if self.counts[index] >= self.counter_max:
+            self.frozen = True
+
+    def bin_upper_edge(self, index: int) -> int:
+        """Largest distance counted by bin ``index``."""
+        return (index + 1) * self.step
+
+    def bin_midpoint(self, index: int) -> float:
+        """Representative distance of bin ``index`` (its midpoint)."""
+        return index * self.step + (self.step + 1) / 2
+
+    @property
+    def reuse_count(self) -> int:
+        """Total reuses recorded (sum of N_i)."""
+        return int(self.counts.sum())
+
+    @property
+    def long_count(self) -> int:
+        """N_L: sampled accesses with no recorded reuse below d_max."""
+        return max(0, self.total - self.reuse_count)
+
+    def snapshot(self) -> tuple[np.ndarray, int]:
+        """Copy of (counts, total) for the PD computation."""
+        return self.counts.copy(), self.total
+
+    def reset(self) -> None:
+        """Clear counters (done after each PD recomputation, Sec. 6.4)."""
+        self.counts[:] = 0
+        self.total = 0
+        self.frozen = False
+
+    def decay(self, shift: int = 1) -> None:
+        """Halve all counters ``shift`` times (alternative to full reset)."""
+        self.counts >>= shift
+        self.total >>= shift
+        self.frozen = False
+
+    def storage_bits(self, counter_bits: int = 16, total_bits: int = 32) -> int:
+        """SRAM bits: d_max/S_c counters of 16 bits plus one 32-bit N_t."""
+        return self.num_counters * counter_bits + total_bits
+
+
+__all__ = ["RDCounterArray"]

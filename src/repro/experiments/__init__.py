@@ -1,0 +1,20 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+One module per experiment; each exposes ``run_*`` returning structured
+results and ``format_report`` rendering the paper-style rows. The
+``benchmarks/`` directory wraps these in pytest-benchmark targets.
+"""
+
+from repro.experiments.common import (
+    EXPERIMENT_GEOMETRY,
+    EXPERIMENT_SUITE,
+    default_trace,
+    experiment_config,
+)
+
+__all__ = [
+    "EXPERIMENT_GEOMETRY",
+    "EXPERIMENT_SUITE",
+    "default_trace",
+    "experiment_config",
+]

@@ -1,0 +1,85 @@
+"""Shared constants and helpers for the experiment drivers.
+
+All experiments run on the scaled geometry (64 sets x 16 ways, the paper's
+associativity) with SPEC-like traces positioned relative to (W = 16,
+d_max = 256). ``fast=True`` halves trace lengths for quick smoke runs.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import CacheGeometry
+from repro.memory.timing import TimingModel
+from repro.sim.config import ExperimentConfig
+from repro.traces.trace import Trace
+from repro.workloads.spec_like import SINGLE_CORE_SUITE, make_benchmark_trace
+
+#: Scaled LLC used by every single-core experiment.
+EXPERIMENT_GEOMETRY = CacheGeometry(num_sets=64, ways=16)
+
+#: The paper's 16-benchmark single-core suite.
+EXPERIMENT_SUITE = SINGLE_CORE_SUITE
+
+#: Default single-core trace length (accesses).
+TRACE_LENGTH = 40_000
+
+#: Dynamic-PD recomputation interval, scaled from the paper's 512K.
+RECOMPUTE_INTERVAL = 4096
+
+#: Timing model shared by all experiments.
+TIMING = TimingModel()
+
+#: Per-core sets for the shared-LLC experiments (shared size = cores x this).
+MULTICORE_SETS_PER_CORE = 16
+
+
+def experiment_config() -> ExperimentConfig:
+    """The ExperimentConfig matching the constants above."""
+    return ExperimentConfig(
+        llc=EXPERIMENT_GEOMETRY,
+        recompute_interval=RECOMPUTE_INTERVAL,
+        trace_length=TRACE_LENGTH,
+    )
+
+
+def trace_length(fast: bool) -> int:
+    return TRACE_LENGTH // 2 if fast else TRACE_LENGTH
+
+
+def default_trace(name: str, fast: bool = False, seed: int | None = None) -> Trace:
+    """The canonical trace for one benchmark at experiment geometry."""
+    return make_benchmark_trace(
+        name,
+        length=trace_length(fast),
+        num_sets=EXPERIMENT_GEOMETRY.num_sets,
+        seed=seed,
+    )
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Render an aligned text table for bench reports."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "EXPERIMENT_GEOMETRY",
+    "EXPERIMENT_SUITE",
+    "MULTICORE_SETS_PER_CORE",
+    "RECOMPUTE_INTERVAL",
+    "TIMING",
+    "TRACE_LENGTH",
+    "default_trace",
+    "experiment_config",
+    "format_table",
+    "trace_length",
+]

@@ -1,0 +1,102 @@
+"""Fig. 11 — adaptation to program phases.
+
+(a) sensitivity of dynamic PDP to the PD-recompute interval on the five
+phase-changing workloads; (b) policy comparison on those workloads;
+(c) the PD trajectory over time, which must move when the phase changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pdp_policy import PDPPolicy
+from repro.experiments.common import EXPERIMENT_GEOMETRY, TIMING, format_table
+from repro.policies.lip_bip_dip import DIPPolicy
+from repro.policies.rrip import DRRIPPolicy
+from repro.sim.metrics import percent_change
+from repro.sim.single_core import run_llc
+from repro.workloads.phased import phase_changing_profiles
+
+#: Scaled analogues of the paper's 1M..8M-access reset intervals.
+RESET_INTERVALS = (1024, 2048, 4096, 8192)
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """One phased workload's Fig. 11 numbers."""
+
+    name: str
+    ipc_by_interval: dict[int, float]
+    dip_ipc: float
+    drrip_ipc: float
+    pdp_ipc: float
+    pd_history: list[tuple[int, int]]
+
+    @property
+    def pd_values_seen(self) -> set[int]:
+        return {pd for _, pd in self.pd_history}
+
+
+def run_fig11(fast: bool = False, phase_length: int | None = None) -> list[PhaseResult]:
+    phase_length = phase_length or (10_000 if fast else 20_000)
+    results = []
+    for key, workload in phase_changing_profiles(phase_length=phase_length).items():
+        trace = workload.generate(num_sets=EXPERIMENT_GEOMETRY.num_sets)
+        ipc_by_interval = {}
+        best_history = None
+        for interval in RESET_INTERVALS:
+            policy = PDPPolicy(recompute_interval=interval)
+            run = run_llc(trace, policy, EXPERIMENT_GEOMETRY, timing=TIMING)
+            ipc_by_interval[interval] = run.ipc
+            if interval == 4096:
+                best_history = run.extra["pd_history"]
+        dip = run_llc(trace, DIPPolicy(), EXPERIMENT_GEOMETRY, timing=TIMING)
+        drrip = run_llc(trace, DRRIPPolicy(), EXPERIMENT_GEOMETRY, timing=TIMING)
+        results.append(
+            PhaseResult(
+                name=workload.name,
+                ipc_by_interval=ipc_by_interval,
+                dip_ipc=dip.ipc,
+                drrip_ipc=drrip.ipc,
+                pdp_ipc=ipc_by_interval[4096],
+                pd_history=best_history or [],
+            )
+        )
+    return results
+
+
+def format_report(results: list[PhaseResult]) -> str:
+    interval_rows = []
+    for result in results:
+        baseline = result.ipc_by_interval[RESET_INTERVALS[0]] or 1.0
+        interval_rows.append(
+            [result.name]
+            + [
+                f"{result.ipc_by_interval[i] / baseline:.3f}"
+                for i in RESET_INTERVALS
+            ]
+        )
+    table_a = format_table(
+        ["workload"] + [str(i) for i in RESET_INTERVALS],
+        interval_rows,
+        title="Fig. 11a — IPC vs PD reset interval (normalized to shortest)",
+    )
+    compare_rows = [
+        [
+            result.name,
+            f"{percent_change(result.drrip_ipc, result.dip_ipc):+6.2f}%",
+            f"{percent_change(result.pdp_ipc, result.dip_ipc):+6.2f}%",
+            str(len(result.pd_values_seen)),
+            "->".join(str(pd) for _, pd in result.pd_history[:8]),
+        ]
+        for result in results
+    ]
+    table_b = format_table(
+        ["workload", "DRRIP vs DIP", "PDP vs DIP", "#PDs", "PD trajectory (head)"],
+        compare_rows,
+        title="Fig. 11b/c — phased workloads: policy comparison and PD over time",
+    )
+    return table_a + "\n\n" + table_b
+
+
+__all__ = ["PhaseResult", "RESET_INTERVALS", "format_report", "run_fig11"]

@@ -1,0 +1,134 @@
+"""Fig. 12 — shared-cache partitioning at 4 and 16 cores.
+
+Weighted IPC (W), throughput (T) and harmonic fairness (H) for UCP, PIPP
+and the PD-based partitioning, normalized to TA-DRRIP, over random
+multi-programmed mixes. The paper's shape: PD-based partitioning is
+slightly ahead at 4 cores and scales best at 16 cores, where UCP and PIPP
+fall behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.common import MULTICORE_SETS_PER_CORE, TIMING, format_table
+from repro.memory.cache import CacheGeometry
+from repro.partitioning.pd_partition import PDPartitionPolicy
+from repro.partitioning.pipp import PIPPPolicy
+from repro.partitioning.ucp import UCPPolicy
+from repro.policies.ta_drrip import TADRRIPPolicy
+from repro.sim.multi_core import run_shared_llc, single_thread_baselines
+from repro.workloads.mixes import generate_mixes, make_mix_traces
+
+
+def shared_geometry(cores: int) -> CacheGeometry:
+    """Shared LLC: per-core slice times the core count (paper Sec. 5)."""
+    return CacheGeometry(num_sets=MULTICORE_SETS_PER_CORE * cores, ways=16)
+
+
+def partition_policies(cores: int) -> dict[str, callable]:
+    return {
+        "UCP": lambda: UCPPolicy(num_threads=cores),
+        "PIPP": lambda: PIPPPolicy(num_threads=cores),
+        "PDP": lambda: PDPartitionPolicy(
+            num_threads=cores, recompute_interval=8192, sampler_mode="full"
+        ),
+    }
+
+
+@dataclass
+class MixResult:
+    """One mix's W/T/H per policy, normalized to TA-DRRIP."""
+
+    mix_name: str
+    benchmarks: tuple[str, ...]
+    weighted: dict[str, float] = field(default_factory=dict)
+    throughput: dict[str, float] = field(default_factory=dict)
+    hmean: dict[str, float] = field(default_factory=dict)
+
+
+def run_fig12(
+    cores: int,
+    num_mixes: int = 4,
+    length_per_thread: int | None = None,
+    seed: int = 7,
+) -> list[MixResult]:
+    """Run the Fig. 12 comparison for one core count."""
+    if length_per_thread is None:
+        length_per_thread = 20_000 if cores <= 4 else 8_000
+    geometry = shared_geometry(cores)
+    results = []
+    for mix in generate_mixes(num_mixes, cores=cores, seed=seed):
+        traces = make_mix_traces(
+            mix, length_per_thread=length_per_thread, num_sets=geometry.num_sets
+        )
+        singles = single_thread_baselines(traces, geometry, timing=TIMING)
+        baseline = run_shared_llc(
+            traces,
+            TADRRIPPolicy(num_threads=cores),
+            geometry,
+            timing=TIMING,
+            singles=singles,
+            name=mix.name,
+        )
+        entry = MixResult(mix_name=mix.name, benchmarks=mix.benchmarks)
+        for label, factory in partition_policies(cores).items():
+            run = run_shared_llc(
+                traces,
+                factory(),
+                geometry,
+                timing=TIMING,
+                singles=singles,
+                name=mix.name,
+            )
+            entry.weighted[label] = run.weighted / baseline.weighted
+            entry.throughput[label] = run.throughput / baseline.throughput
+            entry.hmean[label] = run.hmean / baseline.hmean
+        results.append(entry)
+    return results
+
+
+def averages(results: list[MixResult]) -> dict[str, dict[str, float]]:
+    """Mean normalized W/T/H per policy."""
+    labels = results[0].weighted.keys()
+    out: dict[str, dict[str, float]] = {}
+    for label in labels:
+        out[label] = {
+            "W": sum(r.weighted[label] for r in results) / len(results),
+            "T": sum(r.throughput[label] for r in results) / len(results),
+            "H": sum(r.hmean[label] for r in results) / len(results),
+        }
+    return out
+
+
+def format_report(results_by_cores: dict[int, list[MixResult]]) -> str:
+    sections = []
+    for cores, results in results_by_cores.items():
+        rows = []
+        for label, metrics in averages(results).items():
+            rows.append(
+                [
+                    label,
+                    f"{100 * (metrics['W'] - 1):+6.2f}%",
+                    f"{100 * (metrics['T'] - 1):+6.2f}%",
+                    f"{100 * (metrics['H'] - 1):+6.2f}%",
+                ]
+            )
+        sections.append(
+            format_table(
+                ["policy", "W vs TA-DRRIP", "T vs TA-DRRIP", "H vs TA-DRRIP"],
+                rows,
+                title=f"Fig. 12 — {cores}-core partitioning ({len(results)} mixes)",
+            )
+        )
+    return "\n\n".join(sections)
+
+
+__all__ = [
+    "MixResult",
+    "averages",
+    "format_report",
+    "partition_policies",
+    "run_fig12",
+    "shared_geometry",
+]

@@ -1,0 +1,25 @@
+"""Hardware models: the PD compute processor and SRAM overhead accounting."""
+
+from repro.hardware.overhead import (
+    dip_overhead_bits,
+    drrip_overhead_bits,
+    llc_sram_bits,
+    overhead_report,
+    pdp_overhead_bits,
+)
+from repro.hardware.pd_processor import (
+    PDProcessor,
+    assemble_pd_search,
+    pd_search_integer,
+)
+
+__all__ = [
+    "PDProcessor",
+    "assemble_pd_search",
+    "dip_overhead_bits",
+    "drrip_overhead_bits",
+    "llc_sram_bits",
+    "overhead_report",
+    "pd_search_integer",
+    "pdp_overhead_bits",
+]

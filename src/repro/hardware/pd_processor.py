@@ -1,0 +1,300 @@
+"""Cycle-level model of the PD compute logic (Sec. 3, Fig. 8).
+
+The paper implements the E(d_p) search as a tiny 4-stage special-purpose
+processor: a 32-bit ALU, eight 8-bit registers (R0-R7), eight 32-bit
+registers (R8-R15), and sixteen integer instruction kinds including an
+8x32 shift-add multiply (``MULT8``) and a 33-cycle non-restoring 32-bit
+divide (``DIV32``). It reads the RD counter array and outputs the optimal
+PD; the search runs rarely (every 512K accesses), so tens of cycles per
+candidate d_p are negligible.
+
+This module provides:
+
+- :class:`PDProcessor` — an interpreter for that instruction set with the
+  paper's cycle costs;
+- :func:`assemble_pd_search` — the actual search microprogram, evaluating
+  E(d_p) incrementally for every bin boundary and tracking the argmax via
+  a scaled integer division;
+- :func:`pd_search_integer` — a pure-Python replica of the same integer
+  algorithm, used to validate the microprogram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+# Instruction cycle costs (Sec. 3: mult8 is shift-add over 8 bits; div32 is
+# a 33-cycle non-restoring divide; everything else single-cycle).
+_COSTS = {"MULT8": 8, "DIV32": 33}
+_BRANCH_PENALTY = 1  # taken-branch bubble in the 4-stage pipeline
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction: opcode, destination, two sources."""
+
+    op: str
+    dst: int = 0
+    src1: int = 0
+    src2: int = 0
+
+
+class PDProcessor:
+    """Interpreter for the PD compute logic's instruction set.
+
+    Registers 0-7 are 8-bit, 8-15 are 32-bit (wrap-around semantics).
+    ``LOAD`` reads the RD counter array (the processor's only memory).
+
+    Opcodes: MOV, MOVI, ADD, ADDI, SUB, AND, OR, XOR, SHL, SHR, MULT8,
+    DIV32, LOAD, BEQ, BLT, BGE, JMP, HALT — sixteen compute/control kinds,
+    matching the paper's description.
+    """
+
+    NUM_REGISTERS = 16
+
+    def __init__(self, counter_memory: list[int] | np.ndarray) -> None:
+        self.memory = [int(value) for value in counter_memory]
+        self.registers = [0] * self.NUM_REGISTERS
+        self.cycles = 0
+        self.instructions_executed = 0
+
+    def _mask(self, register: int, value: int) -> int:
+        width = 0xFF if register < 8 else 0xFFFFFFFF
+        return value & width
+
+    def _write(self, register: int, value: int) -> None:
+        self.registers[register] = self._mask(register, value)
+
+    def run(self, program: list[Instruction], max_steps: int = 5_000_000) -> None:
+        """Execute ``program`` until HALT, accumulating cycle counts."""
+        pc = 0
+        steps = 0
+        regs = self.registers
+        while pc < len(program):
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError("PD search program did not halt")
+            inst = program[pc]
+            op = inst.op
+            self.instructions_executed += 1
+            self.cycles += _COSTS.get(op, 1)
+            taken = False
+            if op == "MOV":
+                self._write(inst.dst, regs[inst.src1])
+            elif op == "MOVI":
+                self._write(inst.dst, inst.src1)
+            elif op == "ADD":
+                self._write(inst.dst, regs[inst.src1] + regs[inst.src2])
+            elif op == "ADDI":
+                self._write(inst.dst, regs[inst.src1] + inst.src2)
+            elif op == "SUB":
+                self._write(inst.dst, regs[inst.src1] - regs[inst.src2])
+            elif op == "AND":
+                self._write(inst.dst, regs[inst.src1] & regs[inst.src2])
+            elif op == "OR":
+                self._write(inst.dst, regs[inst.src1] | regs[inst.src2])
+            elif op == "XOR":
+                self._write(inst.dst, regs[inst.src1] ^ regs[inst.src2])
+            elif op == "SHL":
+                self._write(inst.dst, regs[inst.src1] << inst.src2)
+            elif op == "SHR":
+                self._write(inst.dst, regs[inst.src1] >> inst.src2)
+            elif op == "MULT8":
+                # 32-bit x 8-bit shift-add multiply.
+                self._write(inst.dst, regs[inst.src1] * (regs[inst.src2] & 0xFF))
+            elif op == "DIV32":
+                divisor = regs[inst.src2]
+                quotient = regs[inst.src1] // divisor if divisor else 0
+                self._write(inst.dst, quotient)
+            elif op == "LOAD":
+                index = regs[inst.src1]
+                value = self.memory[index] if 0 <= index < len(self.memory) else 0
+                self._write(inst.dst, value)
+            elif op == "BEQ":
+                taken = regs[inst.src1] == regs[inst.src2]
+            elif op == "BLT":
+                taken = regs[inst.src1] < regs[inst.src2]
+            elif op == "BGE":
+                taken = regs[inst.src1] >= regs[inst.src2]
+            elif op == "JMP":
+                taken = True
+            elif op == "HALT":
+                return
+            else:
+                raise ValueError(f"unknown opcode {op!r}")
+            if taken:
+                pc = inst.dst
+                self.cycles += _BRANCH_PENALTY
+            else:
+                pc += 1
+
+
+# Register allocation for the search program. 8-bit bank: loop counter and
+# small temporaries; 32-bit bank: running sums and the division operands.
+R_J = 0  # bin index (8-bit)
+R_K = 1  # number of bins (8-bit)
+R_T8 = 2  # 8-bit temporary (bin midpoint / j+1)
+R_H = 8  # running hit sum
+R_O = 9  # running occupancy-of-hits sum
+R_NT = 10  # N_t
+R_T32 = 11  # 32-bit temporary
+R_D = 12  # denominator
+R_BEST_E = 13  # best scaled E so far
+R_BEST_PD = 14  # argmax PD
+R_T32B = 15  # second 32-bit temporary
+
+
+def assemble_pd_search(
+    num_bins: int,
+    step: int,
+    d_e: int,
+    e_scale_shift: int = 20,
+) -> list[Instruction]:
+    """The PD-search microprogram for an RD counter array.
+
+    Implements, for every bin j (PD = (j+1)*step):
+
+        H += N[j];  O += N[j] * (j*step + step/2)
+        D  = O + (N_t - H) * (PD + d_e)
+        E  = (H << e_scale_shift) / D          # DIV32
+        if E >= bestE: bestE, bestPD = E, PD
+
+    ``step`` and ``d_e`` must be powers of two so the multiplies reduce to
+    MULT8 + shifts, as in the paper's shift-add datapath.
+    """
+    if step & (step - 1):
+        raise ValueError("step must be a power of two")
+    if d_e & (d_e - 1):
+        raise ValueError("d_e must be a power of two")
+    if not 1 <= num_bins <= 255:
+        # The loop counter lives in an 8-bit register; d_max=256 with
+        # S_c >= 2 always fits.
+        raise ValueError(f"num_bins must be in [1, 255], got {num_bins}")
+    log_step = step.bit_length() - 1
+    log_de = d_e.bit_length() - 1
+    half = step // 2
+
+    program: list[Instruction] = []
+
+    def emit(op, dst=0, src1=0, src2=0) -> int:
+        program.append(Instruction(op, dst, src1, src2))
+        return len(program) - 1
+
+    emit("MOVI", R_J, 0)
+    emit("MOVI", R_K, num_bins)
+    emit("MOVI", R_H, 0)
+    emit("MOVI", R_O, 0)
+    emit("MOVI", R_BEST_E, 0)
+    emit("MOVI", R_BEST_PD, step)
+    loop_start = len(program)
+    # H += N[j]
+    emit("LOAD", R_T32, R_J)
+    emit("ADD", R_H, R_H, R_T32)
+    # O += N[j] * (j*step + step/2)
+    emit("MOV", R_T8, R_J)
+    emit("SHL", R_T8, R_T8, log_step)
+    emit("ADDI", R_T8, R_T8, half)
+    emit("MULT8", R_T32, R_T32, R_T8)
+    emit("ADD", R_O, R_O, R_T32)
+    # L = N_t - H; L*(PD + d_e) = ((L * (j+1)) << log_step) + (L << log_de)
+    emit("SUB", R_T32, R_NT, R_H)
+    emit("MOV", R_T8, R_J)
+    emit("ADDI", R_T8, R_T8, 1)
+    emit("MULT8", R_T32B, R_T32, R_T8)
+    emit("SHL", R_T32B, R_T32B, log_step)
+    emit("SHL", R_T32, R_T32, log_de)
+    emit("ADD", R_T32B, R_T32B, R_T32)
+    emit("ADD", R_D, R_O, R_T32B)
+    # E = (H << shift) / D, guarded against D == 0
+    emit("MOVI", R_T32, 0)
+    skip_div_branch = emit("BEQ", 0, R_D, R_T32)  # patched below
+    emit("MOV", R_T32, R_H)
+    emit("SHL", R_T32, R_T32, e_scale_shift)
+    emit("DIV32", R_T32, R_T32, R_D)
+    # if E >= bestE: update (>= prefers larger PD on ties, matching the
+    # incremental search scanning small-to-large d_p)
+    skip_update_branch = emit("BLT", 0, R_T32, R_BEST_E)  # patched below
+    emit("MOV", R_BEST_E, R_T32)
+    emit("MOV", R_T8, R_J)
+    emit("ADDI", R_T8, R_T8, 1)
+    emit("MOV", R_BEST_PD, R_T8)
+    emit("SHL", R_BEST_PD, R_BEST_PD, log_step)
+    skip_target = len(program)
+    # j += 1; loop while j < K
+    emit("ADDI", R_J, R_J, 1)
+    emit("BLT", loop_start, R_J, R_K)
+    emit("HALT")
+
+    program[skip_div_branch] = Instruction("BEQ", skip_target, R_D, R_T32)
+    program[skip_update_branch] = Instruction("BLT", skip_target, R_T32, R_BEST_E)
+    return program
+
+
+def normalize_rdd(
+    counts: list[int] | np.ndarray, total: int, total_bits: int = 12
+) -> tuple[list[int], int]:
+    """Right-shift the RDD so N_t fits ``total_bits`` bits.
+
+    The datapath's E numerator is ``H << e_scale_shift``; keeping the hit
+    sum under 2^12 guarantees it fits the 32-bit ALU. In hardware this is
+    a barrel-shift of the counter array before the search; E is a ratio,
+    so uniform scaling preserves the argmax up to rounding.
+    """
+    shift = max(0, int(total).bit_length() - total_bits)
+    scaled = [int(value) >> shift for value in counts]
+    return scaled, int(total) >> shift
+
+
+def run_pd_search(
+    counts: list[int] | np.ndarray,
+    total: int,
+    step: int,
+    d_e: int,
+    e_scale_shift: int = 19,
+) -> tuple[int, int]:
+    """Run the microprogram on an RDD; returns (best_pd, cycles)."""
+    scaled_counts, scaled_total = normalize_rdd(counts, total)
+    processor = PDProcessor(scaled_counts)
+    processor.registers[R_NT] = scaled_total & 0xFFFFFFFF
+    program = assemble_pd_search(len(scaled_counts), step, d_e, e_scale_shift)
+    processor.run(program)
+    return processor.registers[R_BEST_PD], processor.cycles
+
+
+def pd_search_integer(
+    counts: list[int] | np.ndarray,
+    total: int,
+    step: int,
+    d_e: int,
+    e_scale_shift: int = 19,
+) -> int:
+    """Pure-Python replica of the microprogram's integer arithmetic."""
+    scaled_counts, scaled_total = normalize_rdd(counts, total)
+    hits = 0
+    occupancy = 0
+    best_e = 0
+    best_pd = step
+    for j, count in enumerate(scaled_counts):
+        hits += count
+        occupancy += count * (j * step + step // 2)
+        pd = (j + 1) * step
+        long_lines = max(0, scaled_total - hits)
+        denominator = occupancy + long_lines * (pd + d_e)
+        if denominator == 0:
+            continue  # mirrors the microprogram's BEQ-on-zero guard
+        e_value = (hits << e_scale_shift) // denominator
+        if e_value >= best_e:
+            best_e = e_value
+            best_pd = pd
+    return best_pd
+
+
+__all__ = [
+    "Instruction",
+    "PDProcessor",
+    "assemble_pd_search",
+    "pd_search_integer",
+    "run_pd_search",
+]

@@ -1,0 +1,17 @@
+"""Cache-hierarchy substrate: set-associative caches, hierarchy, timing."""
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.hierarchy import CacheHierarchy, HierarchyResult
+from repro.memory.stats import CacheStats, OccupancyTracker
+from repro.memory.timing import TimingModel, TimingResult
+
+__all__ = [
+    "CacheGeometry",
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyResult",
+    "OccupancyTracker",
+    "SetAssociativeCache",
+    "TimingModel",
+    "TimingResult",
+]

@@ -1,0 +1,14 @@
+"""Shared-LLC partitioning policies: UCP, PIPP and PD-based partitioning."""
+
+from repro.partitioning.pd_partition import PDPartitionPolicy
+from repro.partitioning.pipp import PIPPPolicy
+from repro.partitioning.ucp import UCPPolicy, lookahead_partition
+from repro.partitioning.umon import UtilityMonitor
+
+__all__ = [
+    "PDPartitionPolicy",
+    "PIPPPolicy",
+    "UCPPolicy",
+    "UtilityMonitor",
+    "lookahead_partition",
+]

@@ -1,0 +1,37 @@
+"""Replacement and bypass policies (baselines the paper compares against)."""
+
+from repro.policies.base import ReplacementPolicy, make_policy, register_policy
+from repro.policies.belady import BeladyPolicy
+from repro.policies.counter_based import CounterBasedPolicy
+from repro.policies.eelru import EELRUPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lip_bip_dip import BIPPolicy, DIPPolicy, LIPPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.plru import TreePLRUPolicy
+from repro.policies.random_ import RandomPolicy
+from repro.policies.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.policies.sdp import SDPPolicy
+from repro.policies.ship import SHiPPolicy
+from repro.policies.ta_drrip import TADRRIPPolicy
+
+__all__ = [
+    "BIPPolicy",
+    "BRRIPPolicy",
+    "BeladyPolicy",
+    "CounterBasedPolicy",
+    "DIPPolicy",
+    "DRRIPPolicy",
+    "EELRUPolicy",
+    "FIFOPolicy",
+    "LIPPolicy",
+    "LRUPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "SDPPolicy",
+    "SHiPPolicy",
+    "SRRIPPolicy",
+    "TADRRIPPolicy",
+    "TreePLRUPolicy",
+    "make_policy",
+    "register_policy",
+]

@@ -1,0 +1,100 @@
+"""Replacement-policy interface and registry.
+
+A policy is attached to exactly one cache. The cache calls, in order:
+
+- ``on_access(set_index, access)`` for every access (hit or miss);
+- ``on_hit(set_index, way, access)`` when the access hits;
+- ``choose_victim(set_index, access)`` when a miss finds no invalid way —
+  returning a way index, or ``None`` to bypass (only honoured when the
+  policy sets ``supports_bypass``);
+- ``on_evict(set_index, way, access)`` just before the victim is replaced;
+- ``on_fill(set_index, way, access)`` after the new line is written;
+- ``on_bypass(set_index, access)`` when the fill was dropped.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+from repro.types import Access
+
+
+class ReplacementPolicy(abc.ABC):
+    """Base class for all replacement/bypass policies."""
+
+    #: Whether ``choose_victim`` may return ``None`` to skip insertion.
+    supports_bypass: bool = False
+
+    def __init__(self) -> None:
+        self.cache = None
+
+    def attach(self, cache) -> None:
+        """Bind to a cache; allocates per-line metadata."""
+        if self.cache is not None:
+            raise RuntimeError("policy is already attached to a cache")
+        self.cache = cache
+        self._allocate(cache.geometry.num_sets, cache.geometry.ways)
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        """Allocate per-line metadata; override when state is needed."""
+
+    # -- hooks -------------------------------------------------------------
+
+    def on_access(self, set_index: int, access: Access) -> None:
+        """Called once per access, before the tag check outcome is applied."""
+
+    @abc.abstractmethod
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        """The access hit ``way``; promote it."""
+
+    @abc.abstractmethod
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        """Pick a victim way for a miss with no invalid ways."""
+
+    def on_evict(self, set_index: int, way: int, access: Access) -> None:
+        """The line in ``way`` is about to be replaced."""
+
+    @abc.abstractmethod
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        """A new line was written into ``way``; set its insertion state."""
+
+    def on_bypass(self, set_index: int, access: Access) -> None:
+        """The fill for ``access`` was dropped (bypass)."""
+
+
+_REGISTRY: dict[str, Callable[..., ReplacementPolicy]] = {}
+
+
+def register_policy(name: str):
+    """Class decorator registering a policy under ``name`` for lookup."""
+
+    def decorator(cls):
+        _REGISTRY[name] = cls
+        cls.policy_name = name
+        return cls
+
+    return decorator
+
+
+def make_policy(name: str, **kwargs) -> ReplacementPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown policy {name!r}; known: {known}") from None
+    return factory(**kwargs)
+
+
+def registered_policies() -> list[str]:
+    """Names of all registered policies."""
+    return sorted(_REGISTRY)
+
+
+__all__ = [
+    "ReplacementPolicy",
+    "make_policy",
+    "register_policy",
+    "registered_policies",
+]

@@ -1,0 +1,62 @@
+"""Belady's offline optimal replacement (OPT / MIN).
+
+Used as an upper bound in tests and ablations (the paper cites Belady via
+the Shepherd-cache discussion, Sec. 7). The policy is given the full trace
+up front, precomputes each access's next-use position, and always evicts
+the line re-referenced farthest in the future. With ``bypass=True`` it also
+skips insertion when the incoming block's next use is farther than every
+resident line's — the optimal choice for a non-inclusive cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.types import Access
+
+_INFINITY = 1 << 62
+
+
+@register_policy("belady")
+class BeladyPolicy(ReplacementPolicy):
+    """Offline OPT; requires the address trace the cache will observe."""
+
+    def __init__(self, addresses: Sequence[int], bypass: bool = False) -> None:
+        super().__init__()
+        self.bypass = bypass
+        self.supports_bypass = bypass
+        addresses = [int(a) for a in addresses]
+        self._next_use = [_INFINITY] * len(addresses)
+        last_seen: dict[int, int] = {}
+        for position in range(len(addresses) - 1, -1, -1):
+            address = addresses[position]
+            self._next_use[position] = last_seen.get(address, _INFINITY)
+            last_seen[address] = position
+        self._time = -1
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        self._ways = ways
+        # Next-use position of the line resident in each way.
+        self._line_next_use = [[_INFINITY] * ways for _ in range(num_sets)]
+
+    def on_access(self, set_index: int, access: Access) -> None:
+        self._time += 1
+        if self._time >= len(self._next_use):
+            raise RuntimeError("BeladyPolicy saw more accesses than its trace")
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        self._line_next_use[set_index][way] = self._next_use[self._time]
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        row = self._line_next_use[set_index]
+        victim = max(range(self._ways), key=row.__getitem__)
+        if self.bypass and self._next_use[self._time] > row[victim]:
+            return None
+        return victim
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._line_next_use[set_index][way] = self._next_use[self._time]
+
+
+__all__ = ["BeladyPolicy"]

@@ -1,0 +1,110 @@
+"""Counter-based expiration replacement, after Kharbutli & Solihin (2005).
+
+The paper's Sec. 7 describes this predecessor of explicit protection:
+"the counter-based replacement policy, using a matrix of counters,
+protects lines by not evicting them until they expire ... it predicts how
+long a line should be protected by using the past behavior of lines in
+the same class."
+
+This implementation follows the AIP (access-interval predictor) flavour:
+
+- each line counts accesses to its set since its last touch (its current
+  *access interval*);
+- a prediction table, indexed by the line's PC class, remembers the
+  largest interval after which lines of that class were still re-used
+  (learned at eviction/promotion time);
+- a line *expires* once its interval exceeds its class's learned
+  threshold (plus slack); expired lines are preferred victims, falling
+  back to LRU.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.types import Access
+
+
+@register_policy("counter-based")
+class CounterBasedPolicy(ReplacementPolicy):
+    """AIP-style counter-based replacement with learned expiration.
+
+    Args:
+        table_bits: log2 of the prediction-table size.
+        max_interval: saturation bound for per-line interval counters.
+        slack: multiplicative slack on the learned threshold before a
+            line is considered expired (the original uses 2x).
+    """
+
+    def __init__(
+        self,
+        table_bits: int = 10,
+        max_interval: int = 255,
+        slack: float = 2.0,
+    ) -> None:
+        super().__init__()
+        self.table_size = 1 << table_bits
+        self.max_interval = max_interval
+        self.slack = slack
+        # Learned maximum reuse interval per PC class (conservative start).
+        self.thresholds = [max_interval] * self.table_size
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        self._ways = ways
+        self._interval = [[0] * ways for _ in range(num_sets)]
+        self._class = [[0] * ways for _ in range(num_sets)]
+        self._stamp = [[0] * ways for _ in range(num_sets)]
+        self._clock = [0] * num_sets
+
+    def classify(self, pc: int) -> int:
+        return (pc ^ (pc >> 10)) % self.table_size
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock[set_index] += 1
+        self._stamp[set_index][way] = self._clock[set_index]
+
+    def on_access(self, set_index: int, access: Access) -> None:
+        row = self._interval[set_index]
+        for way in range(self._ways):
+            if row[way] < self.max_interval:
+                row[way] += 1
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        # The line was re-used after `interval` accesses: its class's
+        # threshold must cover at least that interval (decaying average
+        # keeps it adaptive).
+        interval = self._interval[set_index][way]
+        line_class = self._class[set_index][way]
+        learned = self.thresholds[line_class]
+        self.thresholds[line_class] = max(interval, (3 * learned + interval) // 4)
+        self._interval[set_index][way] = 0
+        self._class[set_index][way] = self.classify(access.pc)
+        self._touch(set_index, way)
+
+    def _expired(self, set_index: int, way: int) -> bool:
+        line_class = self._class[set_index][way]
+        threshold = self.thresholds[line_class] * self.slack
+        return self._interval[set_index][way] > threshold
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        stamps = self._stamp[set_index]
+        expired = [w for w in range(self._ways) if self._expired(set_index, w)]
+        if expired:
+            return min(expired, key=stamps.__getitem__)
+        return min(range(self._ways), key=stamps.__getitem__)
+
+    def on_evict(self, set_index: int, way: int, access: Access) -> None:
+        # Evicted without confirming reuse: shrink the class's threshold
+        # toward the interval actually granted (avoids over-protection).
+        line_class = self._class[set_index][way]
+        interval = self._interval[set_index][way]
+        learned = self.thresholds[line_class]
+        if interval < learned:
+            self.thresholds[line_class] = max(1, (learned + interval) // 2)
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._interval[set_index][way] = 0
+        self._class[set_index][way] = self.classify(access.pc)
+        self._touch(set_index, way)
+
+
+__all__ = ["CounterBasedPolicy"]

@@ -1,0 +1,87 @@
+"""Set-dueling monitor (SDM) shared by DIP, DRRIP and TA-DRRIP.
+
+A few "leader" sets are dedicated to each of two competing policies; a
+saturating PSEL counter tallies which leader group misses less, and all
+"follower" sets adopt the winner (Qureshi et al., DIP). The paper uses an
+SDM with 32 sets per group and a 10-bit PSEL (Sec. 5).
+"""
+
+from __future__ import annotations
+
+
+class SetDuelingMonitor:
+    """Assigns leader sets and maintains the PSEL counter.
+
+    Leader sets are spread evenly: within each window of
+    ``num_sets / num_leader_sets`` sets, the first set leads policy A and
+    the middle set leads policy B (constituency-based selection).
+
+    Args:
+        num_sets: total sets in the cache.
+        num_leader_sets: leader sets per policy (32 in the paper; clamped
+            for small caches).
+        psel_bits: PSEL width (10 in the paper).
+    """
+
+    FOLLOWER = 0
+    LEADER_A = 1
+    LEADER_B = 2
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_leader_sets: int | None = 32,
+        psel_bits: int = 10,
+        phase: int = 0,
+    ) -> None:
+        self.num_sets = num_sets
+        if num_leader_sets is None:
+            num_leader_sets = self.auto_leader_sets(num_sets)
+        self.num_leader_sets = max(1, min(num_leader_sets, num_sets // 2))
+        self.psel_max = (1 << psel_bits) - 1
+        self.psel = self.psel_max // 2
+        self._role = [self.FOLLOWER] * num_sets
+        window = num_sets // self.num_leader_sets
+        # ``phase`` rotates leader positions so several monitors (e.g. one
+        # per thread in TA-DRRIP) dedicate different physical sets.
+        for leader in range(self.num_leader_sets):
+            base = leader * window
+            self._role[(base + phase) % num_sets] = self.LEADER_A
+            self._role[(base + phase + window // 2) % num_sets] = self.LEADER_B
+
+    @staticmethod
+    def auto_leader_sets(num_sets: int) -> int:
+        """Leader sets scaled to cache size: 32 at the paper's 2048 sets,
+        proportionally fewer on scaled caches so followers always dominate
+        while keeping enough leaders to average out per-set heterogeneity."""
+        return max(1, min(32, num_sets // 16))
+
+    def role(self, set_index: int) -> int:
+        """Role of ``set_index``: follower, leader A or leader B."""
+        return self._role[set_index]
+
+    def record_miss(self, set_index: int) -> None:
+        """Update PSEL on a miss in a leader set.
+
+        A miss in a leader-A set votes against A (PSEL up); a miss in a
+        leader-B set votes against B (PSEL down).
+        """
+        role = self._role[set_index]
+        if role == self.LEADER_A:
+            if self.psel < self.psel_max:
+                self.psel += 1
+        elif role == self.LEADER_B:
+            if self.psel > 0:
+                self.psel -= 1
+
+    def prefer_a(self, set_index: int) -> bool:
+        """Whether this set should behave as policy A right now."""
+        role = self._role[set_index]
+        if role == self.LEADER_A:
+            return True
+        if role == self.LEADER_B:
+            return False
+        return self.psel <= self.psel_max // 2
+
+
+__all__ = ["SetDuelingMonitor"]

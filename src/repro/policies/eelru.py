@@ -1,0 +1,136 @@
+"""Early-eviction LRU (EELRU), adapted from Smaragdakis et al. (1999).
+
+EELRU tracks hits along an extended recency axis (beyond the resident
+lines) and chooses between plain LRU and *early eviction*: evicting the
+e-th most recently used line so that older lines survive a loop larger
+than the cache. The expected-hit model for an (e, l) pair is
+
+    hits(e, l) = hits[1..e-1] + (W - e + 1) / (l - e + 1) * hits[e..l]
+
+because early eviction retains all lines more recent than position e and a
+uniform fraction of lines with recency in [e, l]. EELRU picks the best of
+LRU and the best (e, l) pair; following the paper's methodology (Sec. 5),
+candidate points are evaluated aggressively over all sets with the late
+point capped at d_max.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.types import Access
+
+
+@register_policy("eelru")
+class EELRUPolicy(ReplacementPolicy):
+    """EELRU with global (e, l) selection over per-set recency queues.
+
+    Args:
+        l_max: maximum late-eviction point (the paper sets it to d_max).
+        update_interval: accesses between (e, l) re-selections.
+    """
+
+    def __init__(self, l_max: int = 256, update_interval: int = 4096) -> None:
+        super().__init__()
+        self.l_max = l_max
+        self.update_interval = update_interval
+        self._accesses = 0
+        self._early_mode = False
+        self._early_point = 1
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        self._ways = ways
+        # Recency queue per set: most recent first, resident or not.
+        self._queue: list[list[int]] = [[] for _ in range(num_sets)]
+        self._stamp = [[0] * ways for _ in range(num_sets)]
+        self._clock = [0] * num_sets
+        # Global histogram of hits per recency position (1-indexed).
+        self._position_hits = [0] * (self.l_max + 2)
+        # Candidate early points: geometric spacing below W. The early
+        # point is always >= 2 so the most recently touched line is never
+        # the early-eviction victim.
+        self._early_candidates = sorted(
+            {max(2, ways // 8), max(2, ways // 4), max(2, ways // 2), max(2, ways - 1)}
+        )
+        self._late_candidates = [
+            point
+            for point in (
+                ways * 2,
+                ways * 4,
+                ways * 8,
+                ways * 16,
+                self.l_max,
+            )
+            if ways < point <= self.l_max
+        ] or [min(ways + 1, self.l_max)]
+
+    # -- recency-axis bookkeeping ----------------------------------------
+
+    def _record_position(self, set_index: int, address: int) -> None:
+        queue = self._queue[set_index]
+        try:
+            position = queue.index(address) + 1
+        except ValueError:
+            position = 0
+        if position:
+            del queue[position - 1]
+            if position <= self.l_max:
+                self._position_hits[position] += 1
+        queue.insert(0, address)
+        if len(queue) > self.l_max:
+            queue.pop()
+
+    def on_access(self, set_index: int, access: Access) -> None:
+        self._record_position(set_index, access.address)
+        self._accesses += 1
+        if self._accesses % self.update_interval == 0:
+            self._select_points()
+
+    def _select_points(self) -> None:
+        """Pick LRU or the best (e, l) pair from the position histogram."""
+        ways = self._ways
+        prefix = [0] * (self.l_max + 2)
+        for position in range(1, self.l_max + 1):
+            prefix[position] = prefix[position - 1] + self._position_hits[position]
+        lru_hits = prefix[min(ways, self.l_max)]
+        best_hits = lru_hits
+        best: tuple[int, int] | None = None
+        for early in self._early_candidates:
+            kept = prefix[early - 1]
+            for late in self._late_candidates:
+                region = prefix[min(late, self.l_max)] - prefix[early - 1]
+                expected = kept + region * (ways - early + 1) / (late - early + 1)
+                if expected > best_hits:
+                    best_hits = expected
+                    best = (early, late)
+        if best is None:
+            self._early_mode = False
+        else:
+            self._early_mode = True
+            self._early_point = best[0]
+        # Decay so the choice tracks phase changes.
+        for position in range(1, self.l_max + 1):
+            self._position_hits[position] //= 2
+
+    # -- replacement -------------------------------------------------------
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock[set_index] += 1
+        self._stamp[set_index][way] = self._clock[set_index]
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        self._touch(set_index, way)
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        stamps = self._stamp[set_index]
+        if not self._early_mode:
+            return min(range(len(stamps)), key=stamps.__getitem__)
+        # Early eviction: victim is the e-th most recently used resident.
+        order = sorted(range(len(stamps)), key=lambda w: -stamps[w])
+        rank = min(self._early_point, len(order)) - 1
+        return order[rank]
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._touch(set_index, way)
+
+
+__all__ = ["EELRUPolicy"]

@@ -1,0 +1,102 @@
+"""LIP, BIP and DIP insertion policies (Qureshi et al., ISCA 2007).
+
+DIP is the paper's normalization baseline: every Fig. 10 series is reported
+relative to DIP. All three share LRU's recency order and differ only in
+where a missing line is inserted:
+
+- LIP inserts at the LRU position;
+- BIP inserts at MRU with probability epsilon (1/32), else LRU;
+- DIP set-duels LRU against BIP with a PSEL counter.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.policies.dueling import SetDuelingMonitor
+from repro.types import Access
+
+
+class _RecencyBase(ReplacementPolicy):
+    """Shared LRU-stack machinery for the DIP family."""
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        self._stamp = [[0] * ways for _ in range(num_sets)]
+        self._clock = [0] * num_sets
+
+    def _touch_mru(self, set_index: int, way: int) -> None:
+        self._clock[set_index] += 1
+        self._stamp[set_index][way] = self._clock[set_index]
+
+    def _place_lru(self, set_index: int, way: int) -> None:
+        row = self._stamp[set_index]
+        row[way] = min(row) - 1
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        self._touch_mru(set_index, way)
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        row = self._stamp[set_index]
+        return min(range(len(row)), key=row.__getitem__)
+
+
+@register_policy("lip")
+class LIPPolicy(_RecencyBase):
+    """LRU-insertion policy: new lines start at the LRU position."""
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._place_lru(set_index, way)
+
+
+@register_policy("bip")
+class BIPPolicy(_RecencyBase):
+    """Bimodal insertion: MRU with probability ``epsilon``, else LRU."""
+
+    def __init__(self, epsilon: float = 1 / 32, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError(f"epsilon must be in [0, 1], got {epsilon}")
+        self.epsilon = epsilon
+        self._rng = random.Random(seed)
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        if self._rng.random() < self.epsilon:
+            self._touch_mru(set_index, way)
+        else:
+            self._place_lru(set_index, way)
+
+
+@register_policy("dip")
+class DIPPolicy(_RecencyBase):
+    """Dynamic insertion policy: set-duel LRU (A) against BIP (B)."""
+
+    def __init__(
+        self,
+        epsilon: float = 1 / 32,
+        num_leader_sets: int | None = None,
+        psel_bits: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        self.epsilon = epsilon
+        self.num_leader_sets = num_leader_sets
+        self.psel_bits = psel_bits
+        self._rng = random.Random(seed)
+        self._sdm: SetDuelingMonitor | None = None
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        super()._allocate(num_sets, ways)
+        self._sdm = SetDuelingMonitor(num_sets, self.num_leader_sets, self.psel_bits)
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._sdm.record_miss(set_index)
+        if self._sdm.prefer_a(set_index):
+            self._touch_mru(set_index, way)  # LRU policy: insert at MRU
+        elif self._rng.random() < self.epsilon:
+            self._touch_mru(set_index, way)  # BIP's occasional MRU insert
+        else:
+            self._place_lru(set_index, way)
+
+
+__all__ = ["BIPPolicy", "DIPPolicy", "LIPPolicy"]

@@ -1,0 +1,51 @@
+"""Least-recently-used replacement.
+
+LRU is the paper's reference point: it protects a line for W unique
+accesses (the associativity) before eviction (Sec. 7). Implemented with
+per-line age stamps from a per-set logical clock.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.types import Access
+
+
+@register_policy("lru")
+class LRUPolicy(ReplacementPolicy):
+    """Classical LRU: evict the least recently touched line."""
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        self._stamp = [[0] * ways for _ in range(num_sets)]
+        self._clock = [0] * num_sets
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock[set_index] += 1
+        self._stamp[set_index][way] = self._clock[set_index]
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        self._touch(set_index, way)
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        stamps = self._stamp[set_index]
+        return min(range(len(stamps)), key=stamps.__getitem__)
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._touch(set_index, way)
+
+    def recency_order(self, set_index: int) -> list[int]:
+        """Ways ordered most-recently-used first (for tests/EELRU)."""
+        stamps = self._stamp[set_index]
+        return sorted(range(len(stamps)), key=lambda w: -stamps[w])
+
+
+@register_policy("mru")
+class MRUPolicy(LRUPolicy):
+    """Most-recently-used eviction (anti-LRU, useful for thrash loops)."""
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        stamps = self._stamp[set_index]
+        return max(range(len(stamps)), key=stamps.__getitem__)
+
+
+__all__ = ["LRUPolicy", "MRUPolicy"]

@@ -1,0 +1,60 @@
+"""Tree pseudo-LRU replacement (binary decision tree per set).
+
+Included as an additional hardware-realistic baseline; commercial L1/L2
+caches commonly use tree PLRU rather than true LRU.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.types import Access
+
+
+@register_policy("plru")
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU; requires power-of-two associativity."""
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        if ways & (ways - 1):
+            raise ValueError("tree PLRU requires power-of-two associativity")
+        self._ways = ways
+        # One bit per internal node; tree stored as a heap (index 1 = root).
+        self._bits = [[0] * ways for _ in range(num_sets)]
+
+    def _touch(self, set_index: int, way: int) -> None:
+        """Flip tree bits so they point away from ``way``."""
+        bits = self._bits[set_index]
+        node = 1
+        span = self._ways
+        offset = 0
+        while span > 1:
+            half = span // 2
+            go_right = way >= offset + half
+            bits[node] = 0 if go_right else 1  # point away from the path taken
+            node = 2 * node + (1 if go_right else 0)
+            if go_right:
+                offset += half
+            span = half
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        self._touch(set_index, way)
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        bits = self._bits[set_index]
+        node = 1
+        span = self._ways
+        offset = 0
+        while span > 1:
+            half = span // 2
+            go_right = bits[node] == 1
+            node = 2 * node + (1 if go_right else 0)
+            if go_right:
+                offset += half
+            span = half
+        return offset
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._touch(set_index, way)
+
+
+__all__ = ["TreePLRUPolicy"]

@@ -1,0 +1,32 @@
+"""Random replacement with a deterministic, seedable generator."""
+
+from __future__ import annotations
+
+import random
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.types import Access
+
+
+@register_policy("random")
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random way (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        self._ways = ways
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        pass
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        return self._rng.randrange(self._ways)
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        pass
+
+
+__all__ = ["RandomPolicy"]

@@ -1,0 +1,106 @@
+"""RRIP family: SRRIP, BRRIP and DRRIP (Jaleel et al., ISCA 2010).
+
+Each line carries an M-bit re-reference prediction value (RRPV). Victim
+selection scans for RRPV == 2^M - 1, aging the whole set until one appears.
+SRRIP inserts at 2^M - 2 ("long" re-reference); BRRIP inserts at 2^M - 1
+("distant") except with probability epsilon; DRRIP set-duels the two.
+
+The paper's case study (Sec. 2.1, Fig. 2) sweeps epsilon from 1/4 down to
+1/128, which our ``BRRIPPolicy`` supports directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.policies.dueling import SetDuelingMonitor
+from repro.types import Access
+
+
+class _RRIPBase(ReplacementPolicy):
+    """Shared RRPV machinery: aging scan and hit promotion."""
+
+    def __init__(self, m_bits: int = 2) -> None:
+        super().__init__()
+        if m_bits < 1:
+            raise ValueError(f"m_bits must be >= 1, got {m_bits}")
+        self.m_bits = m_bits
+        self.rrpv_max = (1 << m_bits) - 1
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        self._rrpv = [[self.rrpv_max] * ways for _ in range(num_sets)]
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        # Hit promotion (HP): predicted near-immediate re-reference.
+        self._rrpv[set_index][way] = 0
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        row = self._rrpv[set_index]
+        while True:
+            for way, value in enumerate(row):
+                if value >= self.rrpv_max:
+                    return way
+            for way in range(len(row)):
+                row[way] += 1
+
+    def _insert(self, set_index: int, way: int, distant: bool) -> None:
+        row = self._rrpv[set_index]
+        row[way] = self.rrpv_max if distant else self.rrpv_max - 1
+
+
+@register_policy("srrip")
+class SRRIPPolicy(_RRIPBase):
+    """Static RRIP: every miss inserts with a "long" prediction."""
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._insert(set_index, way, distant=False)
+
+
+@register_policy("brrip")
+class BRRIPPolicy(_RRIPBase):
+    """Bimodal RRIP: inserts "distant" except with probability epsilon."""
+
+    def __init__(self, m_bits: int = 2, epsilon: float = 1 / 32, seed: int = 0):
+        super().__init__(m_bits)
+        self.epsilon = epsilon
+        self._rng = random.Random(seed)
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        distant = self._rng.random() >= self.epsilon
+        self._insert(set_index, way, distant=distant)
+
+
+@register_policy("drrip")
+class DRRIPPolicy(_RRIPBase):
+    """Dynamic RRIP: set-duel SRRIP (A) against BRRIP (B)."""
+
+    def __init__(
+        self,
+        m_bits: int = 2,
+        epsilon: float = 1 / 32,
+        num_leader_sets: int | None = None,
+        psel_bits: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(m_bits)
+        self.epsilon = epsilon
+        self.num_leader_sets = num_leader_sets
+        self.psel_bits = psel_bits
+        self._rng = random.Random(seed)
+        self._sdm: SetDuelingMonitor | None = None
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        super()._allocate(num_sets, ways)
+        self._sdm = SetDuelingMonitor(num_sets, self.num_leader_sets, self.psel_bits)
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._sdm.record_miss(set_index)
+        if self._sdm.prefer_a(set_index):
+            self._insert(set_index, way, distant=False)  # SRRIP
+        else:
+            distant = self._rng.random() >= self.epsilon  # BRRIP
+            self._insert(set_index, way, distant=distant)
+
+
+__all__ = ["BRRIPPolicy", "DRRIPPolicy", "SRRIPPolicy"]

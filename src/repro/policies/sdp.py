@@ -1,0 +1,173 @@
+"""Sampling dead block prediction (SDP), after Khan et al. (MICRO 2010).
+
+SDP learns, per last-touch program counter, whether blocks die after their
+last access. A decoupled *sampler* (a few shadow sets with partial tags and
+LRU) provides ground truth: an entry evicted from the sampler without reuse
+trains its last-touch PC toward "dead"; a sampler hit trains toward "live".
+A skewed table of saturating counters stores the predictions.
+
+In the cache, a fill whose PC predicts dead is bypassed (dead-on-arrival),
+and lines whose latest touch predicts dead are preferred victims. The paper
+compares against SDP in Fig. 10 and notes it wins where PC-based prediction
+is informative and loses where RDs are short (Sec. 6.2).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import ReplacementPolicy, register_policy
+from repro.types import Access
+
+
+class _SamplerEntry:
+    """One partial-tag entry of an SDP sampler set."""
+
+    __slots__ = ("partial_tag", "pc_signature", "lru_stamp", "valid")
+
+    def __init__(self) -> None:
+        self.partial_tag = 0
+        self.pc_signature = 0
+        self.lru_stamp = 0
+        self.valid = False
+
+
+class DeadBlockPredictor:
+    """Skewed saturating-counter predictor indexed by PC signature."""
+
+    def __init__(
+        self,
+        table_bits: int = 12,
+        num_tables: int = 3,
+        counter_max: int = 3,
+        threshold: int = 8,
+    ) -> None:
+        self.table_size = 1 << table_bits
+        self.num_tables = num_tables
+        self.counter_max = counter_max
+        self.threshold = threshold
+        self.tables = [[0] * self.table_size for _ in range(num_tables)]
+
+    def _indices(self, signature: int) -> list[int]:
+        indices = []
+        value = signature & 0xFFFFFFFF
+        for table in range(self.num_tables):
+            # Distinct xor-fold per table approximates skewed hashing.
+            folded = (value >> (table * 5)) ^ (value * (2 * table + 3))
+            indices.append(folded % self.table_size)
+        return indices
+
+    def train(self, signature: int, dead: bool) -> None:
+        for table, index in zip(self.tables, self._indices(signature)):
+            if dead:
+                if table[index] < self.counter_max:
+                    table[index] += 1
+            elif table[index] > 0:
+                table[index] -= 1
+
+    def predict_dead(self, signature: int) -> bool:
+        confidence = sum(
+            table[index] for table, index in zip(self.tables, self._indices(signature))
+        )
+        return confidence >= self.threshold
+
+
+@register_policy("sdp")
+class SDPPolicy(ReplacementPolicy):
+    """LRU base policy + sampling dead block prediction with bypass.
+
+    Args:
+        num_sampler_sets: shadow sets used for training (paper triples the
+            original budget; default 32).
+        sampler_assoc: sampler associativity (12 in the original work; 16
+            by default here, matching the paper's enlarged 3x SDP budget
+            on a 16-way LLC).
+        bypass: drop fills predicted dead-on-arrival.
+    """
+
+    supports_bypass = True
+
+    def __init__(
+        self,
+        num_sampler_sets: int = 32,
+        sampler_assoc: int = 16,
+        table_bits: int = 12,
+        threshold: int = 8,
+        bypass: bool = True,
+    ) -> None:
+        super().__init__()
+        self.num_sampler_sets = num_sampler_sets
+        self.sampler_assoc = sampler_assoc
+        self.bypass = bypass
+        self.predictor = DeadBlockPredictor(table_bits=table_bits, threshold=threshold)
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        self._ways = ways
+        self._stamp = [[0] * ways for _ in range(num_sets)]
+        self._clock = [0] * num_sets
+        self._dead = [[False] * ways for _ in range(num_sets)]
+        sampler_sets = min(self.num_sampler_sets, num_sets)
+        self._sampler_stride = max(1, num_sets // sampler_sets)
+        self._sampler = {
+            set_index: [_SamplerEntry() for _ in range(self.sampler_assoc)]
+            for set_index in range(0, num_sets, self._sampler_stride)
+        }
+        self._sampler_clock = 0
+
+    # -- sampler training --------------------------------------------------
+
+    @staticmethod
+    def _signature(pc: int) -> int:
+        return pc & 0xFFFF
+
+    def on_access(self, set_index: int, access: Access) -> None:
+        entries = self._sampler.get(set_index)
+        if entries is None:
+            return
+        self._sampler_clock += 1
+        partial_tag = (access.address // len(self._stamp)) & 0xFFFF
+        signature = self._signature(access.pc)
+        for entry in entries:
+            if entry.valid and entry.partial_tag == partial_tag:
+                # Reused before sampler eviction: last-touch PC was live.
+                self.predictor.train(entry.pc_signature, dead=False)
+                entry.pc_signature = signature
+                entry.lru_stamp = self._sampler_clock
+                return
+        victim = min(entries, key=lambda e: (e.valid, e.lru_stamp))
+        if victim.valid:
+            # Evicted without reuse: last-touch PC marked dead.
+            self.predictor.train(victim.pc_signature, dead=True)
+        victim.partial_tag = partial_tag
+        victim.pc_signature = signature
+        victim.lru_stamp = self._sampler_clock
+        victim.valid = True
+
+    # -- replacement --------------------------------------------------------
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock[set_index] += 1
+        self._stamp[set_index][way] = self._clock[set_index]
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        self._touch(set_index, way)
+        self._dead[set_index][way] = self.predictor.predict_dead(
+            self._signature(access.pc)
+        )
+
+    def choose_victim(self, set_index: int, access: Access) -> int | None:
+        dead_row = self._dead[set_index]
+        stamps = self._stamp[set_index]
+        dead_ways = [way for way in range(self._ways) if dead_row[way]]
+        if dead_ways:
+            return min(dead_ways, key=stamps.__getitem__)
+        if self.bypass and self.predictor.predict_dead(self._signature(access.pc)):
+            return None
+        return min(range(self._ways), key=stamps.__getitem__)
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        self._touch(set_index, way)
+        self._dead[set_index][way] = self.predictor.predict_dead(
+            self._signature(access.pc)
+        )
+
+
+__all__ = ["DeadBlockPredictor", "SDPPolicy"]

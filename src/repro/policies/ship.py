@@ -1,0 +1,72 @@
+"""SHiP-PC: signature-based hit prediction (Wu et al., MICRO 2011).
+
+Discussed in the paper's Sec. 6.3/7 as the line-grouping improvement over
+RRIP: a Signature History Counter Table (SHCT), indexed by a PC
+signature, learns whether lines inserted by that signature are ever
+re-referenced. Fills whose signature never produces hits insert with a
+"distant" re-reference prediction (immediately evictable); everything
+else inserts "long" as in SRRIP. Per-line state: the signature and an
+outcome bit recording whether the line has hit since insertion.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import register_policy
+from repro.policies.rrip import _RRIPBase
+from repro.types import Access
+
+
+@register_policy("ship")
+class SHiPPolicy(_RRIPBase):
+    """SRRIP base + SHCT-driven insertion prediction.
+
+    Args:
+        m_bits: RRPV width (2, as in SRRIP).
+        signature_bits: PC-signature width (14 in the original work).
+        counter_bits: SHCT counter width (3 in the original work).
+    """
+
+    def __init__(
+        self,
+        m_bits: int = 2,
+        signature_bits: int = 14,
+        counter_bits: int = 3,
+    ) -> None:
+        super().__init__(m_bits)
+        self.signature_mask = (1 << signature_bits) - 1
+        self.counter_max = (1 << counter_bits) - 1
+        self.shct = [self.counter_max // 2] * (1 << signature_bits)
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        super()._allocate(num_sets, ways)
+        self._signature = [[0] * ways for _ in range(num_sets)]
+        self._outcome = [[False] * ways for _ in range(num_sets)]
+
+    def signature_of(self, pc: int) -> int:
+        """Fold a PC into an SHCT index."""
+        return (pc ^ (pc >> 14)) & self.signature_mask
+
+    def on_hit(self, set_index: int, way: int, access: Access) -> None:
+        super().on_hit(set_index, way, access)
+        if not self._outcome[set_index][way]:
+            self._outcome[set_index][way] = True
+            signature = self._signature[set_index][way]
+            if self.shct[signature] < self.counter_max:
+                self.shct[signature] += 1
+
+    def on_evict(self, set_index: int, way: int, access: Access) -> None:
+        if not self._outcome[set_index][way]:
+            signature = self._signature[set_index][way]
+            if self.shct[signature] > 0:
+                self.shct[signature] -= 1
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        signature = self.signature_of(access.pc)
+        self._signature[set_index][way] = signature
+        self._outcome[set_index][way] = False
+        # Zero counter => this signature's lines are never re-referenced:
+        # predict distant (immediately evictable). Otherwise long.
+        self._insert(set_index, way, distant=self.shct[signature] == 0)
+
+
+__all__ = ["SHiPPolicy"]

@@ -1,0 +1,66 @@
+"""Thread-aware DRRIP (TA-DRRIP) for shared last-level caches.
+
+Each thread runs its own SRRIP-vs-BRRIP duel: thread t dedicates its own
+leader sets (rotated so different threads sample different physical sets)
+and keeps a private PSEL. In follower sets, the inserting thread's PSEL
+decides its insertion prediction. This is the strongest shared-cache
+baseline in the paper's Fig. 12.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.policies.base import register_policy
+from repro.policies.dueling import SetDuelingMonitor
+from repro.policies.rrip import _RRIPBase
+from repro.types import Access
+
+
+@register_policy("ta-drrip")
+class TADRRIPPolicy(_RRIPBase):
+    """Per-thread DRRIP dueling over a shared cache."""
+
+    def __init__(
+        self,
+        num_threads: int,
+        m_bits: int = 2,
+        epsilon: float = 1 / 32,
+        num_leader_sets: int | None = None,
+        psel_bits: int = 10,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(m_bits)
+        if num_threads < 1:
+            raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+        self.num_threads = num_threads
+        self.epsilon = epsilon
+        self.num_leader_sets = num_leader_sets
+        self.psel_bits = psel_bits
+        self._rng = random.Random(seed)
+        self._sdms: list[SetDuelingMonitor] = []
+
+    def _allocate(self, num_sets: int, ways: int) -> None:
+        super()._allocate(num_sets, ways)
+        stride = max(1, num_sets // (2 * self.num_threads))
+        self._sdms = [
+            SetDuelingMonitor(
+                num_sets,
+                self.num_leader_sets,
+                self.psel_bits,
+                phase=thread * stride,
+            )
+            for thread in range(self.num_threads)
+        ]
+
+    def on_fill(self, set_index: int, way: int, access: Access) -> None:
+        sdm = self._sdms[access.thread_id % self.num_threads]
+        sdm.record_miss(set_index)
+        if sdm.prefer_a(set_index):
+            self._insert(set_index, way, distant=False)
+        else:
+            distant = self._rng.random() >= self.epsilon
+            self._insert(set_index, way, distant=distant)
+
+
+__all__ = ["TADRRIPPolicy"]

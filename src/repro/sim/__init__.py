@@ -1,0 +1,29 @@
+"""Simulation drivers: configs, single-core and multi-core runs, metrics."""
+
+from repro.sim.config import ExperimentConfig, MachineConfig
+from repro.sim.metrics import (
+    geometric_mean,
+    harmonic_mean_normalized_ipc,
+    throughput,
+    weighted_ipc,
+)
+from repro.sim.multi_core import MultiCoreResult, run_shared_llc, single_thread_baselines
+from repro.sim.runner import compare_policies, sweep_static_pd
+from repro.sim.single_core import SingleCoreResult, run_hierarchy, run_llc
+
+__all__ = [
+    "ExperimentConfig",
+    "MachineConfig",
+    "MultiCoreResult",
+    "SingleCoreResult",
+    "compare_policies",
+    "geometric_mean",
+    "harmonic_mean_normalized_ipc",
+    "run_hierarchy",
+    "run_llc",
+    "run_shared_llc",
+    "single_thread_baselines",
+    "sweep_static_pd",
+    "throughput",
+    "weighted_ipc",
+]

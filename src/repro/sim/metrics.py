@@ -1,0 +1,77 @@
+"""Performance metrics (Sec. 5 of the paper).
+
+Single-core: MPKI and IPC. Multi-core, for per-thread IPCs ``ipc[t]`` and
+stand-alone baselines ``single[t]`` (thread alone on the shared LLC with
+LRU, the paper's normalization):
+
+- weighted IPC      W = sum_t ipc[t] / single[t]
+- throughput        T = sum_t ipc[t]
+- harmonic fairness H = N / sum_t (single[t] / ipc[t])
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def weighted_ipc(ipcs: Sequence[float], singles: Sequence[float]) -> float:
+    """Weighted IPC: sum of per-thread speedups over stand-alone LRU."""
+    _check(ipcs, singles)
+    return sum(ipc / single for ipc, single in zip(ipcs, singles))
+
+
+def throughput(ipcs: Sequence[float]) -> float:
+    """Raw throughput: sum of per-thread IPCs."""
+    return sum(ipcs)
+
+
+def harmonic_mean_normalized_ipc(
+    ipcs: Sequence[float], singles: Sequence[float]
+) -> float:
+    """Harmonic mean of normalized IPCs — the paper's fairness metric H."""
+    _check(ipcs, singles)
+    total = sum(single / ipc for ipc, single in zip(ipcs, singles))
+    return len(ipcs) / total if total > 0 else 0.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (for averaging speedup ratios)."""
+    if not values:
+        raise ValueError("geometric_mean of empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def percent_change(new: float, baseline: float) -> float:
+    """(new - baseline) / baseline, in percent."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (new - baseline) / baseline
+
+
+def miss_reduction_percent(misses: float, baseline_misses: float) -> float:
+    """Reduction in misses vs a baseline, in percent (positive = better)."""
+    if baseline_misses == 0:
+        return 0.0
+    return 100.0 * (baseline_misses - misses) / baseline_misses
+
+
+def _check(ipcs: Sequence[float], singles: Sequence[float]) -> None:
+    if len(ipcs) != len(singles):
+        raise ValueError("per-thread IPC lists must have equal length")
+    if any(value <= 0 for value in singles):
+        raise ValueError("stand-alone IPCs must be positive")
+    if any(value <= 0 for value in ipcs):
+        raise ValueError("per-thread IPCs must be positive")
+
+
+__all__ = [
+    "geometric_mean",
+    "harmonic_mean_normalized_ipc",
+    "miss_reduction_percent",
+    "percent_change",
+    "throughput",
+    "weighted_ipc",
+]

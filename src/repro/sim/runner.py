@@ -1,0 +1,69 @@
+"""Experiment helpers: static-PD sweeps and policy comparisons."""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.core.pdp_policy import PDPPolicy
+from repro.memory.cache import CacheGeometry
+from repro.memory.timing import TimingModel
+from repro.sim.single_core import SingleCoreResult, run_llc
+from repro.traces.trace import Trace
+
+
+def sweep_static_pd(
+    trace: Trace,
+    geometry: CacheGeometry,
+    pds: Iterable[int],
+    bypass: bool = True,
+    n_c: int = 8,
+    timing: TimingModel | None = None,
+) -> dict[int, SingleCoreResult]:
+    """Run static PDP (SPDP) for each candidate PD (Sec. 2.3)."""
+    results: dict[int, SingleCoreResult] = {}
+    for pd in pds:
+        policy = PDPPolicy(static_pd=pd, bypass=bypass, n_c=n_c)
+        results[pd] = run_llc(trace, policy, geometry, timing=timing)
+    return results
+
+
+def best_static_pd(
+    trace: Trace,
+    geometry: CacheGeometry,
+    pds: Iterable[int],
+    bypass: bool = True,
+    n_c: int = 8,
+    timing: TimingModel | None = None,
+) -> tuple[int, SingleCoreResult]:
+    """The PD minimizing misses over a sweep, with its result."""
+    results = sweep_static_pd(trace, geometry, pds, bypass=bypass, n_c=n_c, timing=timing)
+    pd = min(results, key=lambda candidate: results[candidate].misses)
+    return pd, results[pd]
+
+
+def compare_policies(
+    trace: Trace,
+    factories: dict[str, Callable[[], object]],
+    geometry: CacheGeometry,
+    timing: TimingModel | None = None,
+) -> dict[str, SingleCoreResult]:
+    """Run one trace under several policies (fresh instance per run)."""
+    return {
+        name: run_llc(trace, factory(), geometry, timing=timing)
+        for name, factory in factories.items()
+    }
+
+
+def default_pd_candidates(
+    associativity: int = 16, d_max: int = 256, step: int = 4
+) -> list[int]:
+    """PD sweep grid: associativity up to d_max in S_c steps."""
+    return list(range(associativity, d_max + 1, step))
+
+
+__all__ = [
+    "best_static_pd",
+    "compare_policies",
+    "default_pd_candidates",
+    "sweep_static_pd",
+]

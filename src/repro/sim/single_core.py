@@ -1,0 +1,140 @@
+"""Single-core simulation drivers.
+
+``run_llc`` drives a trace straight into the LLC — the standard mode for
+the paper's experiments, where traces stand for the post-L1/L2 access
+stream. ``run_hierarchy`` drives the full three-level hierarchy for
+end-to-end studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.stats import OccupancyTracker
+from repro.memory.timing import TimingModel
+from repro.traces.trace import Trace
+
+
+@dataclass(slots=True)
+class SingleCoreResult:
+    """Outcome of one single-core run."""
+
+    name: str
+    accesses: int
+    hits: int
+    misses: int
+    bypasses: int
+    instructions: int
+    ipc: float
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def mpki(self) -> float:
+        if self.instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / self.instructions
+
+    @property
+    def bypass_fraction(self) -> float:
+        return self.bypasses / self.accesses if self.accesses else 0.0
+
+
+def run_llc(
+    trace: Trace,
+    policy,
+    geometry: CacheGeometry,
+    timing: TimingModel | None = None,
+    track_occupancy: bool = False,
+    occupancy_threshold: int = 16,
+) -> SingleCoreResult:
+    """Drive ``trace`` into an LLC governed by ``policy``.
+
+    Args:
+        trace: LLC-level access stream.
+        policy: a fresh (unattached) replacement policy instance.
+        geometry: LLC shape.
+        timing: IPC model; defaults to :class:`TimingModel` defaults.
+        track_occupancy: attach an occupancy tracker (Fig. 5a data).
+    """
+    timing = timing or TimingModel()
+    cache = SetAssociativeCache(geometry, policy)
+    tracker = None
+    if track_occupancy:
+        tracker = OccupancyTracker(short_threshold=occupancy_threshold)
+        cache.observers.append(tracker)
+    for access in trace:
+        cache.access(access)
+    stats = cache.stats
+    instructions = trace.instruction_count
+    ipc = timing.ipc(
+        instructions,
+        l2_hits=0,
+        llc_hits=stats.hits,
+        memory_accesses=stats.misses,
+    )
+    extra: dict = {}
+    if tracker is not None:
+        extra["occupancy"] = tracker.breakdown
+    engine = getattr(policy, "engine", None)
+    if engine is not None:
+        extra["pd_history"] = list(engine.pd_history)
+        extra["final_pd"] = engine.current_pd
+    if hasattr(policy, "current_pd"):
+        extra["current_pd"] = policy.current_pd
+    return SingleCoreResult(
+        name=trace.name,
+        accesses=stats.accesses,
+        hits=stats.hits,
+        misses=stats.misses,
+        bypasses=stats.bypasses,
+        instructions=instructions,
+        ipc=ipc,
+        extra=extra,
+    )
+
+
+def run_hierarchy(
+    trace: Trace,
+    llc_policy,
+    machine=None,
+    timing: TimingModel | None = None,
+) -> SingleCoreResult:
+    """Drive ``trace`` through L1 -> L2 -> LLC (Table 1 defaults)."""
+    from repro.sim.config import MachineConfig
+
+    machine = machine or MachineConfig()
+    timing = timing or machine.timing()
+    hierarchy = CacheHierarchy(
+        llc_policy,
+        l1_geometry=machine.l1d,
+        l2_geometry=machine.l2,
+        llc_geometry=machine.llc,
+    )
+    hierarchy.run(iter(trace))
+    result = hierarchy.result
+    instructions = trace.instruction_count
+    ipc = timing.ipc(
+        instructions,
+        l2_hits=result.l2_hits,
+        llc_hits=result.llc_hits,
+        memory_accesses=result.memory_accesses,
+    )
+    return SingleCoreResult(
+        name=trace.name,
+        accesses=result.accesses,
+        hits=result.l1_hits + result.l2_hits + result.llc_hits,
+        misses=result.memory_accesses,
+        bypasses=result.llc_bypasses,
+        instructions=instructions,
+        ipc=ipc,
+        extra={"hierarchy": result},
+    )
+
+
+__all__ = ["SingleCoreResult", "run_hierarchy", "run_llc"]

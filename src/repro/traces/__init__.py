@@ -1,0 +1,22 @@
+"""Trace containers and offline reuse-distance analysis."""
+
+from repro.traces.analysis import (
+    fraction_below,
+    reuse_distance_distribution,
+    reuse_distances,
+    stack_distances,
+    working_set_size,
+)
+from repro.traces.io import load_trace, save_trace
+from repro.traces.trace import Trace
+
+__all__ = [
+    "Trace",
+    "fraction_below",
+    "load_trace",
+    "reuse_distance_distribution",
+    "reuse_distances",
+    "save_trace",
+    "stack_distances",
+    "working_set_size",
+]

@@ -1,0 +1,36 @@
+"""Trace persistence: compressed numpy archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as a compressed ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        addresses=trace.addresses,
+        pcs=trace.pcs,
+        thread_ids=trace.thread_ids,
+        name=np.array(trace.name),
+        instructions_per_access=np.array(trace.instructions_per_access),
+    )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        trace = Trace.__new__(Trace)
+        trace.addresses = archive["addresses"]
+        trace.pcs = archive["pcs"]
+        trace.thread_ids = archive["thread_ids"]
+        trace.name = str(archive["name"])
+        trace.instructions_per_access = float(archive["instructions_per_access"])
+        return trace
+
+
+__all__ = ["load_trace", "save_trace"]

@@ -1,0 +1,40 @@
+"""Synthetic workload generators with controlled reuse-distance structure."""
+
+from repro.workloads.base import MixtureComponent, RDDProfile
+from repro.workloads.mixes import (
+    WorkloadMix,
+    generate_mixes,
+    interleave_traces,
+    make_mix_traces,
+)
+from repro.workloads.phased import PhasedWorkload, phase_changing_profiles
+from repro.workloads.spec_like import (
+    SPEC_LIKE_PROFILES,
+    benchmark_names,
+    make_benchmark_trace,
+)
+from repro.workloads.streams import (
+    cyclic_loop,
+    random_working_set,
+    sequential_stream,
+    thrash_loop,
+)
+from repro.workloads.synthetic import RDDProfileGenerator
+
+__all__ = [
+    "MixtureComponent",
+    "PhasedWorkload",
+    "RDDProfile",
+    "RDDProfileGenerator",
+    "SPEC_LIKE_PROFILES",
+    "WorkloadMix",
+    "benchmark_names",
+    "cyclic_loop",
+    "generate_mixes",
+    "interleave_traces",
+    "make_benchmark_trace",
+    "phase_changing_profiles",
+    "random_working_set",
+    "sequential_stream",
+    "thrash_loop",
+]

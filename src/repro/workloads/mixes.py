@@ -1,0 +1,125 @@
+"""Multi-programmed workload mixes for the shared-LLC experiments (Sec. 5).
+
+The paper generates 80 random 4-core and 16-core workloads from its
+benchmark pool, allowing duplicates. A mix completes when each thread has
+finished its window; early finishers rewind and keep running, and per-
+thread statistics are frozen at first completion. :func:`interleave_traces`
+implements exactly that (round-robin interleave with rewind), returning the
+per-thread access counts at which statistics should be frozen.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.traces.trace import Trace
+from repro.workloads.spec_like import SINGLE_CORE_SUITE, make_benchmark_trace
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A named multi-programmed workload: one benchmark per core."""
+
+    name: str
+    benchmarks: tuple[str, ...]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.benchmarks)
+
+
+def generate_mixes(
+    num_mixes: int,
+    cores: int,
+    seed: int = 42,
+    pool: tuple[str, ...] = SINGLE_CORE_SUITE,
+) -> list[WorkloadMix]:
+    """Random mixes with duplication allowed, as in the paper."""
+    rng = random.Random(seed)
+    mixes = []
+    for index in range(num_mixes):
+        benchmarks = tuple(rng.choice(pool) for _ in range(cores))
+        mixes.append(WorkloadMix(name=f"mix{cores}c_{index:02d}", benchmarks=benchmarks))
+    return mixes
+
+
+def interleave_traces(
+    traces: list[Trace],
+    total_length: int | None = None,
+) -> tuple[Trace, list[int]]:
+    """Round-robin interleave per-thread traces with rewind-on-completion.
+
+    Each thread's addresses are offset into a private address space. The
+    interleaved trace runs until every thread has completed its own trace
+    at least once (or ``total_length`` accesses, if given).
+
+    Returns:
+        (interleaved trace, per-thread completion positions) — the
+        completion position is the index in the *interleaved* trace at
+        which thread t finished its first pass; per-thread statistics
+        should be frozen there (the paper's methodology).
+    """
+    num_threads = len(traces)
+    if num_threads == 0:
+        raise ValueError("need at least one trace")
+    lengths = [len(trace) for trace in traces]
+    if any(length == 0 for length in lengths):
+        raise ValueError("all traces must be non-empty")
+    if total_length is None:
+        total_length = max(lengths) * num_threads
+    addresses = np.empty(total_length, dtype=np.int64)
+    pcs = np.empty(total_length, dtype=np.int64)
+    thread_ids = np.empty(total_length, dtype=np.int64)
+    cursors = [0] * num_threads
+    completion = [-1] * num_threads
+    offsets = [thread << 40 for thread in range(num_threads)]
+    position = 0
+    while position < total_length:
+        for thread in range(num_threads):
+            if position >= total_length:
+                break
+            trace = traces[thread]
+            cursor = cursors[thread]
+            addresses[position] = int(trace.addresses[cursor]) + offsets[thread]
+            pcs[position] = int(trace.pcs[cursor])
+            thread_ids[position] = thread
+            cursor += 1
+            if cursor >= lengths[thread]:
+                cursor = 0  # rewind and continue (paper Sec. 5)
+                if completion[thread] < 0:
+                    completion[thread] = position + 1
+            cursors[thread] = cursor
+            position += 1
+    for thread in range(num_threads):
+        if completion[thread] < 0:
+            completion[thread] = total_length
+    mixed = Trace.__new__(Trace)
+    mixed.addresses = addresses
+    mixed.pcs = pcs
+    mixed.thread_ids = thread_ids
+    mixed.name = "+".join(trace.name for trace in traces)
+    mixed.instructions_per_access = traces[0].instructions_per_access
+    return mixed, completion
+
+
+def make_mix_traces(
+    mix: WorkloadMix,
+    length_per_thread: int = 20_000,
+    num_sets: int = 64,
+) -> list[Trace]:
+    """Per-thread traces for a mix (distinct seeds per slot)."""
+    return [
+        make_benchmark_trace(
+            name,
+            length=length_per_thread,
+            num_sets=num_sets,
+            seed=1000 + 97 * slot,
+        )
+        for slot, name in enumerate(mix.benchmarks)
+    ]
+
+
+__all__ = ["WorkloadMix", "generate_mixes", "interleave_traces", "make_mix_traces"]

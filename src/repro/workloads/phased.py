@@ -1,0 +1,100 @@
+"""Phase-changing workloads (Sec. 6.4 / Fig. 11).
+
+The paper notes five SPEC benchmarks with phase changes inside a window
+(gcc, soplex, xalancbmk, mcf, sphinx3) and shows that PDP adapts when the
+PD is recomputed frequently enough. A :class:`PhasedWorkload` concatenates
+segments generated from different RDD profiles, so the optimal PD moves
+between phases by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traces.trace import Trace
+from repro.workloads.base import RDDProfile
+from repro.workloads.spec_like import SPEC_LIKE_PROFILES
+from repro.workloads.synthetic import RDDProfileGenerator
+
+
+@dataclass(frozen=True)
+class PhasedWorkload:
+    """A sequence of (profile, length) phases forming one trace."""
+
+    name: str
+    phases: tuple[tuple[RDDProfile, int], ...]
+
+    def generate(self, num_sets: int = 64, seed: int = 777) -> Trace:
+        """Materialize the phased trace (phases get distinct address spaces)."""
+        trace: Trace | None = None
+        for index, (profile, length) in enumerate(self.phases):
+            generator = RDDProfileGenerator(
+                profile, num_sets=num_sets, seed=seed + 13 * index
+            )
+            segment = generator.generate(length)
+            # Distinct address spaces per phase make the phase change real:
+            # the old working set dies at the boundary.
+            segment = segment.offset_addresses(index * (1 << 28))
+            trace = segment if trace is None else trace.concat(segment)
+        assert trace is not None
+        renamed = trace.slice(0, len(trace))
+        renamed.name = self.name
+        return renamed
+
+    @property
+    def total_length(self) -> int:
+        return sum(length for _, length in self.phases)
+
+
+def phase_changing_profiles(phase_length: int = 30_000) -> dict[str, PhasedWorkload]:
+    """The five phase-changing workloads of Fig. 11.
+
+    Each alternates between two windows with different optimal PDs; the
+    xalancbmk entry cycles through its three windows.
+    """
+    profiles = SPEC_LIKE_PROFILES
+    return {
+        "403.gcc": PhasedWorkload(
+            "403.gcc.phased",
+            (
+                (profiles["403.gcc"], phase_length),
+                (profiles["473.astar"], phase_length),
+                (profiles["403.gcc"], phase_length),
+            ),
+        ),
+        "450.soplex": PhasedWorkload(
+            "450.soplex.phased",
+            (
+                (profiles["450.soplex"], phase_length),
+                (profiles["456.hmmer"], phase_length),
+                (profiles["450.soplex"], phase_length),
+            ),
+        ),
+        "483.xalancbmk": PhasedWorkload(
+            "483.xalancbmk.phased",
+            (
+                (profiles["483.xalancbmk.1"], phase_length),
+                (profiles["483.xalancbmk.2"], phase_length),
+                (profiles["483.xalancbmk.3"], phase_length),
+            ),
+        ),
+        "429.mcf": PhasedWorkload(
+            "429.mcf.phased",
+            (
+                (profiles["429.mcf"], phase_length),
+                (profiles["436.cactusADM"], phase_length),
+                (profiles["429.mcf"], phase_length),
+            ),
+        ),
+        "482.sphinx3": PhasedWorkload(
+            "482.sphinx3.phased",
+            (
+                (profiles["482.sphinx3"], phase_length),
+                (profiles["434.zeusmp"], phase_length),
+                (profiles["482.sphinx3"], phase_length),
+            ),
+        ),
+    }
+
+
+__all__ = ["PhasedWorkload", "phase_changing_profiles"]

@@ -1,0 +1,57 @@
+"""Primitive access-pattern generators (building blocks and test fixtures)."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.traces.trace import Trace
+
+
+def sequential_stream(length: int, start: int = 0, stride: int = 1) -> Trace:
+    """A pure streaming scan: every block touched once."""
+    addresses = start + stride * np.arange(length, dtype=np.int64)
+    pcs = np.full(length, 0x1000, dtype=np.int64)
+    return Trace(addresses, pcs=pcs, name="sequential_stream")
+
+
+def cyclic_loop(length: int, working_set: int, start: int = 0) -> Trace:
+    """Loop over a fixed working set of ``working_set`` blocks.
+
+    Fits-in-cache loops are LRU-friendly; loops slightly larger than the
+    cache are the classic LRU pathological case (thrashing).
+    """
+    if working_set < 1:
+        raise ValueError(f"working_set must be >= 1, got {working_set}")
+    addresses = start + (np.arange(length, dtype=np.int64) % working_set)
+    pcs = np.full(length, 0x2000, dtype=np.int64)
+    return Trace(addresses, pcs=pcs, name=f"loop{working_set}")
+
+
+def thrash_loop(length: int, ways: int, num_sets: int, overshoot: int = 1) -> Trace:
+    """A loop sized ``ways + overshoot`` lines per set — defeats LRU exactly."""
+    working_set = (ways + overshoot) * num_sets
+    return cyclic_loop(length, working_set)
+
+
+def random_working_set(
+    length: int, working_set: int, seed: int = 0, start: int = 0
+) -> Trace:
+    """Uniformly random accesses within a fixed working set."""
+    rng = random.Random(seed)
+    addresses = np.fromiter(
+        (start + rng.randrange(working_set) for _ in range(length)),
+        dtype=np.int64,
+        count=length,
+    )
+    pcs = np.full(length, 0x3000, dtype=np.int64)
+    return Trace(addresses, pcs=pcs, name=f"random{working_set}")
+
+
+__all__ = [
+    "cyclic_loop",
+    "random_working_set",
+    "sequential_stream",
+    "thrash_loop",
+]

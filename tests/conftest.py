@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.cache import CacheGeometry
+from repro.sim.config import ExperimentConfig
+from repro.workloads.spec_like import make_benchmark_trace
+
+
+@pytest.fixture
+def tiny_geometry() -> CacheGeometry:
+    """4 sets x 4 ways — small enough to reason about by hand."""
+    return CacheGeometry(num_sets=4, ways=4)
+
+
+@pytest.fixture
+def small_geometry() -> CacheGeometry:
+    """16 sets x 16 ways — paper associativity, fast to simulate."""
+    return CacheGeometry(num_sets=16, ways=16)
+
+
+@pytest.fixture
+def config() -> ExperimentConfig:
+    return ExperimentConfig.small()
+
+
+@pytest.fixture(scope="session")
+def cactus_trace():
+    """A cactusADM-like trace shared by integration tests (16 sets)."""
+    return make_benchmark_trace("436.cactusADM", length=15_000, num_sets=16)
+
+
+@pytest.fixture(scope="session")
+def mcf_trace():
+    return make_benchmark_trace("429.mcf", length=15_000, num_sets=16)

@@ -1,0 +1,114 @@
+"""Tests for offline reuse-distance analysis (the paper's RD definition)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.analysis import (
+    fraction_below,
+    lru_hit_curve,
+    reuse_distance_distribution,
+    reuse_distances,
+    stack_distances,
+    working_set_size,
+)
+from repro.traces.trace import Trace
+
+
+class TestReuseDistances:
+    def test_immediate_reuse_is_distance_one(self):
+        # A, A: one access to the set between the two accesses to A.
+        assert reuse_distances([1, 1]) == [1]
+
+    def test_one_intervening_access(self):
+        assert reuse_distances([1, 2, 1]) == [2]
+
+    def test_first_touch_emits_nothing(self):
+        assert reuse_distances([1, 2, 3]) == []
+
+    def test_access_based_not_unique_based(self):
+        # A B B A: 3 accesses to the set since A (B counted twice).
+        assert reuse_distances([1, 2, 2, 1]) == [1, 3]
+
+    def test_per_set_counting(self):
+        # With 2 sets, addresses 0/2 map to set 0, address 1 to set 1.
+        # Stream: 0, 1, 2, 0 -> set-0 stream is 0, 2, 0 -> distance 2.
+        assert reuse_distances([0, 1, 2, 0], num_sets=2) == [2]
+
+    def test_clamping_beyond_d_max(self):
+        trace = [1] + list(range(100, 110)) + [1]
+        distances = reuse_distances(trace, d_max=5)
+        assert distances == [6]  # clamped to d_max + 1
+
+    def test_accepts_trace_objects(self):
+        assert reuse_distances(Trace([1, 1])) == [1]
+
+
+class TestRDD:
+    def test_counts_match_distances(self):
+        counts, long_count, total = reuse_distance_distribution([1, 1, 1], d_max=8)
+        assert counts[1] == 2
+        assert total == 3
+        assert long_count == 1  # the first touch
+
+    def test_long_count_includes_far_reuse(self):
+        trace = [1] + list(range(100, 120)) + [1]
+        counts, long_count, total = reuse_distance_distribution(trace, d_max=4)
+        assert counts.sum() == 0
+        assert long_count == total
+
+    def test_total_is_trace_length(self):
+        trace = list(range(50)) * 2
+        _, _, total = reuse_distance_distribution(trace, d_max=256)
+        assert total == 100
+
+    def test_matches_paper_model_inputs(self):
+        # N_t = sum N_i + N_L must always hold.
+        trace = [1, 2, 1, 3, 2, 1, 4, 4]
+        counts, long_count, total = reuse_distance_distribution(trace, d_max=16)
+        assert counts.sum() + long_count == total
+
+
+class TestFractionBelow:
+    def test_all_below(self):
+        assert fraction_below([1, 1, 1], d_max=4) == 1.0
+
+    def test_no_reuse_gives_zero(self):
+        assert fraction_below(list(range(10)), d_max=4) == 0.0
+
+    def test_partial(self):
+        # One reuse at distance 1, one at distance 3 with d_max=2.
+        trace = [1, 1, 2, 3, 1]
+        assert fraction_below(trace, d_max=2) == pytest.approx(0.5)
+
+
+class TestStackDistances:
+    def test_repeat_is_depth_zero(self):
+        assert stack_distances([1, 1]) == [0]
+
+    def test_unique_intervening(self):
+        # A B B A: only one unique line (B) between the As.
+        assert stack_distances([1, 2, 2, 1]) == [0, 1]
+
+    def test_lru_hit_curve_monotone(self):
+        trace = [1, 2, 3, 1, 2, 3, 1, 2, 3]
+        curve = lru_hit_curve(trace, num_sets=1, max_ways=4)
+        assert all(curve[i] <= curve[i + 1] for i in range(4))
+
+    def test_lru_hit_curve_matches_simulation(self):
+        """Mattson stack evaluation equals direct LRU simulation."""
+        from repro.memory.cache import CacheGeometry, SetAssociativeCache
+        from repro.policies.lru import LRUPolicy
+        from repro.types import Access
+
+        trace = [i % 7 for i in range(100)] + [3, 5, 1] * 10
+        for ways in (1, 2, 4, 8):
+            cache = SetAssociativeCache(CacheGeometry(1, ways), LRUPolicy())
+            for address in trace:
+                cache.access(Access(address))
+            curve = lru_hit_curve(trace, num_sets=1, max_ways=8)
+            assert cache.stats.hits == curve[ways]
+
+
+class TestWorkingSet:
+    def test_counts_distinct_blocks(self):
+        assert working_set_size([1, 1, 2, 3, 3, 3]) == 3

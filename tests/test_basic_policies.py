@@ -1,0 +1,139 @@
+"""Tests for LRU, MRU, FIFO, Random and tree-PLRU policies."""
+
+import pytest
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.policies.base import make_policy, registered_policies
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lru import LRUPolicy, MRUPolicy
+from repro.policies.plru import TreePLRUPolicy
+from repro.policies.random_ import RandomPolicy
+from repro.types import Access
+
+
+def drive(policy, addresses, num_sets=1, ways=4):
+    cache = SetAssociativeCache(CacheGeometry(num_sets, ways), policy)
+    results = [cache.access(Access(a)) for a in addresses]
+    return cache, results
+
+
+class TestLRU:
+    def test_evicts_least_recent(self):
+        cache, results = drive(LRUPolicy(), [0, 1, 2, 3, 0, 4])
+        # 0 was promoted; victim for 4 must be 1.
+        assert results[-1].evicted == 1
+
+    def test_hit_promotes(self):
+        cache, results = drive(LRUPolicy(), [0, 1, 2, 3, 0, 1, 4, 5])
+        assert results[6].evicted == 2
+        assert results[7].evicted == 3
+
+    def test_stack_property_small_within_large(self):
+        """Classic inclusion: every LRU(2) hit is also an LRU(4) hit."""
+        import random
+
+        rng = random.Random(3)
+        addresses = [rng.randrange(8) for _ in range(400)]
+        small, _ = drive(LRUPolicy(), addresses, ways=2)
+        large, _ = drive(LRUPolicy(), addresses, ways=4)
+        assert small.stats.hits <= large.stats.hits
+
+    def test_recency_order(self):
+        cache, _ = drive(LRUPolicy(), [0, 1, 2])
+        order = cache.policy.recency_order(0)
+        tags = [cache.tags[0][w] for w in order if cache.valid[0][w]]
+        assert tags[0] == 2  # MRU first
+
+    def test_loop_exactly_fits(self):
+        cache, _ = drive(LRUPolicy(), [0, 1, 2, 3] * 10)
+        assert cache.stats.hits == 36  # all but the 4 cold misses
+
+    def test_loop_one_too_big_thrashes(self):
+        cache, _ = drive(LRUPolicy(), [0, 1, 2, 3, 4] * 10)
+        assert cache.stats.hits == 0  # the LRU pathology
+
+
+class TestMRU:
+    def test_evicts_most_recent(self):
+        cache, results = drive(MRUPolicy(), [0, 1, 2, 3, 4])
+        assert results[-1].evicted == 3
+
+    def test_mru_beats_lru_on_thrash_loop(self):
+        addresses = [0, 1, 2, 3, 4] * 20
+        lru, _ = drive(LRUPolicy(), addresses)
+        mru, _ = drive(MRUPolicy(), addresses)
+        assert mru.stats.hits > lru.stats.hits
+
+
+class TestFIFO:
+    def test_evicts_insertion_order(self):
+        cache, results = drive(FIFOPolicy(), [0, 1, 2, 3, 0, 4])
+        # 0 was hit but FIFO does not promote: victim is still 0.
+        assert results[-1].evicted == 0
+
+    def test_second_eviction(self):
+        cache, results = drive(FIFOPolicy(), [0, 1, 2, 3, 4, 5])
+        assert results[-1].evicted == 1
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        addresses = list(range(20)) * 3
+        a, _ = drive(RandomPolicy(seed=9), addresses)
+        b, _ = drive(RandomPolicy(seed=9), addresses)
+        assert a.stats.hits == b.stats.hits
+
+    def test_victims_are_valid_ways(self):
+        cache, results = drive(RandomPolicy(seed=1), list(range(50)))
+        for result in results:
+            if result.evicted is None:
+                continue
+            assert 0 <= result.way < 4
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two_ways(self):
+        with pytest.raises(ValueError):
+            drive(TreePLRUPolicy(), [0], ways=3)
+
+    def test_never_evicts_most_recent(self):
+        import random
+
+        rng = random.Random(5)
+        cache = SetAssociativeCache(CacheGeometry(1, 8), TreePLRUPolicy())
+        last = None
+        for _ in range(500):
+            address = rng.randrange(24)
+            result = cache.access(Access(address))
+            if result.evicted is not None and last is not None:
+                assert result.evicted != last
+            last = address
+
+    def test_tracks_lru_roughly(self):
+        """PLRU hit counts are close to true LRU on a reuse-heavy stream."""
+        import random
+
+        rng = random.Random(11)
+        addresses = [rng.randrange(10) for _ in range(1000)]
+        plru, _ = drive(TreePLRUPolicy(), addresses, ways=8)
+        lru, _ = drive(LRUPolicy(), addresses, ways=8)
+        assert plru.stats.hits >= 0.9 * lru.stats.hits
+
+
+class TestRegistry:
+    def test_make_policy_by_name(self):
+        policy = make_policy("lru")
+        assert isinstance(policy, LRUPolicy)
+
+    def test_make_policy_with_kwargs(self):
+        policy = make_policy("random", seed=5)
+        assert isinstance(policy, RandomPolicy)
+
+    def test_unknown_name_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="lru"):
+            make_policy("definitely-not-a-policy")
+
+    def test_expected_policies_registered(self):
+        names = registered_policies()
+        for expected in ("lru", "fifo", "dip", "drrip", "pdp", "ucp", "pipp"):
+            assert expected in names

@@ -1,0 +1,68 @@
+"""Tests for Belady's offline OPT policy."""
+
+import random
+
+import pytest
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.policies.belady import BeladyPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.random_ import RandomPolicy
+from repro.types import Access
+
+
+def run(policy, addresses, num_sets=1, ways=4):
+    cache = SetAssociativeCache(CacheGeometry(num_sets, ways), policy)
+    for address in addresses:
+        cache.access(Access(int(address)))
+    return cache
+
+
+class TestBelady:
+    def test_textbook_example(self):
+        # Classic OPT example: evict the block used farthest in future.
+        addresses = [0, 1, 2, 0, 1, 3, 0, 1, 2, 3]
+        cache = run(BeladyPolicy(addresses), addresses, ways=3)
+        # OPT on this sequence: misses at 0,1,2 (cold), 3, 2 -> 5 misses.
+        assert cache.stats.misses == 5
+
+    def test_never_worse_than_online_policies(self):
+        rng = random.Random(42)
+        addresses = [rng.randrange(20) for _ in range(800)]
+        opt_hits = run(BeladyPolicy(addresses), addresses).stats.hits
+        for online in (LRUPolicy(), FIFOPolicy(), RandomPolicy(seed=1)):
+            assert opt_hits >= run(online, addresses).stats.hits
+
+    def test_bypass_variant_at_least_as_good(self):
+        rng = random.Random(7)
+        addresses = [rng.randrange(25) for _ in range(800)]
+        plain = run(BeladyPolicy(addresses), addresses).stats.hits
+        bypass = run(BeladyPolicy(addresses, bypass=True), addresses).stats.hits
+        assert bypass >= plain
+
+    def test_bypass_skips_never_reused_blocks(self):
+        # Stream of unique blocks after a warm working set: OPT-bypass
+        # never evicts the working set for them.
+        working = [0, 1, 2, 3] * 5
+        stream = list(range(100, 150))
+        addresses = working + stream + [0, 1, 2, 3]
+        cache = run(BeladyPolicy(addresses, bypass=True), addresses)
+        assert cache.stats.bypasses == len(stream)
+        # Final working-set probe all hit.
+        assert cache.stats.hits == 16 + 4
+
+    def test_raises_past_end_of_trace(self):
+        policy = BeladyPolicy([1, 2])
+        cache = SetAssociativeCache(CacheGeometry(1, 2), policy)
+        cache.access(Access(1))
+        cache.access(Access(2))
+        with pytest.raises(RuntimeError):
+            cache.access(Access(3))
+
+    def test_multi_set(self):
+        rng = random.Random(3)
+        addresses = [rng.randrange(64) for _ in range(600)]
+        opt = run(BeladyPolicy(addresses), addresses, num_sets=4)
+        lru = run(LRUPolicy(), addresses, num_sets=4)
+        assert opt.stats.hits >= lru.stats.hits

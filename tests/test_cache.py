@@ -1,0 +1,126 @@
+"""Tests for the set-associative cache substrate."""
+
+import pytest
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache, log2_int
+from repro.policies.lru import LRUPolicy
+from repro.types import Access
+
+
+class TestGeometry:
+    def test_capacity(self):
+        geometry = CacheGeometry(num_sets=64, ways=16, line_size=64)
+        assert geometry.capacity_bytes == 64 * 16 * 64
+        assert geometry.total_lines == 1024
+
+    def test_from_capacity(self):
+        geometry = CacheGeometry.from_capacity(2 * 1024 * 1024, ways=16)
+        assert geometry.num_sets == 2048
+        assert geometry.capacity_bytes == 2 * 1024 * 1024
+
+    def test_from_capacity_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            CacheGeometry.from_capacity(1000, ways=3)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            CacheGeometry(num_sets=3, ways=4)
+
+    def test_set_index_and_tag_invert(self):
+        geometry = CacheGeometry(num_sets=8, ways=2)
+        for address in (0, 7, 8, 123, 4096):
+            set_index = geometry.set_index(address)
+            tag = geometry.tag(address)
+            assert tag * 8 + set_index == address
+
+    def test_str_mentions_size(self):
+        assert "2048KB" in str(CacheGeometry.from_capacity(2 * 1024 * 1024, ways=16))
+
+    def test_log2_int(self):
+        assert log2_int(64) == 6
+        with pytest.raises(ValueError):
+            log2_int(48)
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        assert not cache.access(Access(1)).hit
+        assert cache.access(Access(1)).hit
+
+    def test_stats_accumulate(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        for address in [1, 2, 1, 3, 1]:
+            cache.access(Access(address))
+        assert cache.stats.accesses == 5
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 3
+
+    def test_fills_invalid_ways_before_evicting(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        # 4 distinct blocks in one set fill all ways without eviction.
+        for i in range(4):
+            result = cache.access(Access(i * 4))  # all map to set 0
+            assert result.evicted is None
+        assert cache.stats.evictions == 0
+        # A 5th block must evict.
+        result = cache.access(Access(16))
+        assert result.evicted is not None
+
+    def test_eviction_returns_block_address(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        for i in range(5):
+            result = cache.access(Access(i * 4))
+        assert result.evicted == 0  # LRU victim was the first block
+
+    def test_no_duplicate_tags_in_set(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        import random
+
+        rng = random.Random(7)
+        for _ in range(500):
+            cache.access(Access(rng.randrange(32)))
+            for set_index in range(4):
+                resident = cache.resident_addresses(set_index)
+                assert len(resident) == len(set(resident))
+
+    def test_lookup_does_not_mutate(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        cache.access(Access(1))
+        hits_before = cache.stats.hits
+        assert cache.lookup(1) is not None
+        assert cache.lookup(999) is None
+        assert cache.stats.hits == hits_before
+
+    def test_reuse_bit_set_on_hit(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        way = cache.access(Access(4)).way
+        set_index = tiny_geometry.set_index(4)
+        assert not cache.reused[set_index][way]
+        cache.access(Access(4))
+        assert cache.reused[set_index][way]
+
+    def test_owner_records_thread(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        way = cache.access(Access(4, thread_id=3)).way
+        assert cache.owner[tiny_geometry.set_index(4)][way] == 3
+
+    def test_invalidate_all(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        cache.access(Access(1))
+        cache.invalidate_all()
+        assert not cache.access(Access(1)).hit
+
+    def test_occupancy_counts_set_accesses(self, tiny_geometry):
+        cache = SetAssociativeCache(tiny_geometry, LRUPolicy())
+        way = cache.access(Access(0)).way  # set 0
+        cache.access(Access(4))  # set 0
+        cache.access(Access(8))  # set 0
+        cache.access(Access(1))  # set 1 -- must not count
+        assert cache.occupancy_of(0, way) == 2
+
+    def test_policy_cannot_attach_twice(self, tiny_geometry):
+        policy = LRUPolicy()
+        SetAssociativeCache(tiny_geometry, policy)
+        with pytest.raises(RuntimeError):
+            SetAssociativeCache(tiny_geometry, policy)

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "--benchmark", "403.gcc"])
+        args.policy == "pdp"
+
+
+class TestCommands:
+    def test_list_benchmarks(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "436.cactusADM" in out
+        assert "pc-misleading" in out  # h264ref/xalancbmk flagged
+
+    def test_list_policies(self, capsys):
+        assert main(["list-policies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lru", "dip", "drrip", "pdp"):
+            assert name in out
+
+    def test_run_pdp(self, capsys):
+        code = main(
+            ["run", "--benchmark", "473.astar", "--policy", "pdp", "--length", "4000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "hit rate" in out
+        assert "final PD" in out
+
+    def test_run_registered_policy(self, capsys):
+        code = main(
+            ["run", "--benchmark", "473.astar", "--policy", "lru", "--length", "4000"]
+        )
+        assert code == 0
+        assert "MPKI" in capsys.readouterr().out
+
+    def test_run_belady(self, capsys):
+        code = main(
+            ["run", "--benchmark", "473.astar", "--policy", "belady", "--length", "3000"]
+        )
+        assert code == 0
+
+    def test_rdd(self, capsys):
+        assert main(["rdd", "--benchmark", "450.soplex", "--length", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "RDD of 450.soplex" in out
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--benchmark",
+                "473.astar",
+                "--length",
+                "4000",
+                "--step",
+                "120",
+            ]
+        )
+        assert code == 0
+        assert "best" in capsys.readouterr().out
+
+    def test_overhead(self, capsys):
+        assert main(["overhead"]) == 0
+        out = capsys.readouterr().out
+        assert "PDP-3" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

@@ -1,0 +1,118 @@
+"""Tests for the DIP family (LIP, BIP, DIP) and the set-dueling monitor."""
+
+import pytest
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.policies.dueling import SetDuelingMonitor
+from repro.policies.lip_bip_dip import BIPPolicy, DIPPolicy, LIPPolicy
+from repro.policies.lru import LRUPolicy
+from repro.types import Access
+from repro.workloads.streams import cyclic_loop
+
+
+def hits(policy, trace, num_sets=4, ways=4):
+    cache = SetAssociativeCache(CacheGeometry(num_sets, ways), policy)
+    for access in trace:
+        cache.access(access)
+    return cache.stats.hits
+
+
+class TestSetDuelingMonitor:
+    def test_leader_sets_disjoint(self):
+        sdm = SetDuelingMonitor(num_sets=64, num_leader_sets=4)
+        leaders_a = [s for s in range(64) if sdm.role(s) == sdm.LEADER_A]
+        leaders_b = [s for s in range(64) if sdm.role(s) == sdm.LEADER_B]
+        assert len(leaders_a) == 4
+        assert len(leaders_b) == 4
+        assert not set(leaders_a) & set(leaders_b)
+
+    def test_psel_starts_at_midpoint(self):
+        sdm = SetDuelingMonitor(num_sets=64, psel_bits=10)
+        assert sdm.psel == 511
+
+    def test_miss_in_leader_a_votes_against_a(self):
+        sdm = SetDuelingMonitor(num_sets=64, num_leader_sets=4)
+        leader_a = next(s for s in range(64) if sdm.role(s) == sdm.LEADER_A)
+        start = sdm.psel
+        sdm.record_miss(leader_a)
+        assert sdm.psel == start + 1
+
+    def test_follower_adopts_winner(self):
+        sdm = SetDuelingMonitor(num_sets=64, num_leader_sets=4)
+        follower = next(s for s in range(64) if sdm.role(s) == sdm.FOLLOWER)
+        leader_a = next(s for s in range(64) if sdm.role(s) == sdm.LEADER_A)
+        for _ in range(100):
+            sdm.record_miss(leader_a)  # A keeps missing
+        assert not sdm.prefer_a(follower)
+
+    def test_psel_saturates(self):
+        sdm = SetDuelingMonitor(num_sets=64, num_leader_sets=4, psel_bits=4)
+        leader_a = next(s for s in range(64) if sdm.role(s) == sdm.LEADER_A)
+        for _ in range(100):
+            sdm.record_miss(leader_a)
+        assert sdm.psel == 15
+
+    def test_phase_rotates_leaders(self):
+        base = SetDuelingMonitor(num_sets=64, num_leader_sets=4, phase=0)
+        shifted = SetDuelingMonitor(num_sets=64, num_leader_sets=4, phase=3)
+        leaders_base = {s for s in range(64) if base.role(s) != base.FOLLOWER}
+        leaders_shift = {s for s in range(64) if shifted.role(s) != base.FOLLOWER}
+        assert leaders_base != leaders_shift
+
+    def test_small_cache_clamps_leaders(self):
+        sdm = SetDuelingMonitor(num_sets=4, num_leader_sets=32)
+        assert sdm.num_leader_sets <= 2
+
+
+class TestLIP:
+    def test_lip_retains_old_working_set_on_scan(self):
+        # Warm a small working set, then scan; LIP keeps the working set.
+        warm = [Access(a) for a in [0, 4, 8, 12] * 5]
+        scan = [Access(a) for a in range(100, 400, 4)]
+        probe = [Access(a) for a in [0, 4, 8, 12]]
+        lip_cache = SetAssociativeCache(CacheGeometry(4, 4), LIPPolicy())
+        lru_cache = SetAssociativeCache(CacheGeometry(4, 4), LRUPolicy())
+        for cache in (lip_cache, lru_cache):
+            for access in warm + scan:
+                cache.access(access)
+        lip_hits = sum(lip_cache.access(a).hit for a in probe)
+        lru_hits = sum(lru_cache.access(a).hit for a in probe)
+        assert lip_hits > lru_hits
+
+
+class TestBIP:
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            BIPPolicy(epsilon=1.5)
+
+    def test_bip_beats_lru_on_thrash(self):
+        trace = list(cyclic_loop(2000, working_set=6))
+        assert hits(BIPPolicy(seed=2), trace, num_sets=1) > hits(
+            LRUPolicy(), trace, num_sets=1
+        )
+
+    def test_epsilon_one_is_lru(self):
+        import random
+
+        rng = random.Random(1)
+        trace = [Access(rng.randrange(12)) for _ in range(600)]
+        assert hits(BIPPolicy(epsilon=1.0), trace, num_sets=1) == hits(
+            LRUPolicy(), trace, num_sets=1
+        )
+
+
+class TestDIP:
+    def test_dip_close_to_lru_on_lru_friendly(self):
+        trace = list(cyclic_loop(3000, working_set=4))
+        dip_hits = hits(DIPPolicy(num_leader_sets=1), trace, num_sets=4)
+        lru_hits = hits(LRUPolicy(), trace, num_sets=4)
+        assert dip_hits >= 0.8 * lru_hits
+
+    def test_dip_beats_lru_on_thrash(self):
+        # Working set slightly larger than the cache: DIP should switch
+        # to BIP and retain part of the set.
+        trace = list(cyclic_loop(6000, working_set=24))
+        dip_hits = hits(DIPPolicy(num_leader_sets=1, seed=3), trace, num_sets=4)
+        lru_hits = hits(LRUPolicy(), trace, num_sets=4)
+        assert lru_hits == 0
+        assert dip_hits > 200

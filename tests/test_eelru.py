@@ -1,0 +1,68 @@
+"""Tests for the EELRU policy."""
+
+import random
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.policies.eelru import EELRUPolicy
+from repro.policies.lru import LRUPolicy
+from repro.types import Access
+from repro.workloads.streams import cyclic_loop
+
+
+def run(policy, addresses, num_sets=1, ways=4):
+    cache = SetAssociativeCache(CacheGeometry(num_sets, ways), policy)
+    for address in addresses:
+        cache.access(Access(int(address)))
+    return cache
+
+
+class TestEELRU:
+    def test_defaults_to_lru_without_evidence(self):
+        rng = random.Random(0)
+        addresses = [rng.randrange(4) for _ in range(500)]
+        eelru = run(EELRUPolicy(update_interval=100), addresses)
+        lru = run(LRUPolicy(), addresses)
+        assert eelru.stats.hits == lru.stats.hits
+
+    def test_position_histogram_accumulates(self):
+        policy = EELRUPolicy(update_interval=10_000)
+        run(policy, [0, 1, 0, 1, 0])
+        # Reuses at recency positions beyond 0 were recorded.
+        assert sum(policy._position_hits) >= 3
+
+    def test_early_eviction_engages_on_large_loop(self):
+        """A loop slightly larger than the cache flips EELRU to early mode."""
+        policy = EELRUPolicy(l_max=64, update_interval=64)
+        addresses = list(cyclic_loop(4000, working_set=6).addresses)
+        run(policy, addresses)
+        assert policy._early_mode
+
+    def test_beats_lru_on_looping_pattern(self):
+        addresses = list(cyclic_loop(6000, working_set=6).addresses)
+        eelru = run(EELRUPolicy(l_max=64, update_interval=64), addresses)
+        lru = run(LRUPolicy(), addresses)
+        assert lru.stats.hits == 0
+        assert eelru.stats.hits > 100
+
+    def test_queue_capped_at_l_max(self):
+        policy = EELRUPolicy(l_max=16, update_interval=10_000)
+        run(policy, range(200))
+        assert len(policy._queue[0]) <= 16
+
+    def test_histogram_decays_after_selection(self):
+        policy = EELRUPolicy(l_max=32, update_interval=50)
+        run(policy, [0, 1, 0, 1] * 100)
+        # After several selections the counters were halved repeatedly.
+        assert max(policy._position_hits) < 200
+
+    def test_early_victim_is_not_mru(self):
+        """In early mode the victim must never be the most recent line."""
+        policy = EELRUPolicy(l_max=64, update_interval=64)
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy)
+        last_filled = None
+        for address in cyclic_loop(3000, working_set=6).addresses:
+            result = cache.access(Access(int(address)))
+            if result.evicted is not None and last_filled is not None:
+                assert result.evicted != last_filled
+            if not result.hit:
+                last_filled = int(address)

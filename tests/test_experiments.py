@@ -1,0 +1,115 @@
+"""Smoke tests for the experiment drivers (tiny scales, full code paths)."""
+
+import pytest
+
+from repro.experiments import (
+    fig01_rdd,
+    fig02_epsilon,
+    fig06_model,
+    fig09_params,
+    fig11_phases,
+    fig12_partitioning,
+    overhead_report,
+)
+from repro.experiments.common import (
+    EXPERIMENT_GEOMETRY,
+    default_trace,
+    experiment_config,
+    format_table,
+    trace_length,
+)
+
+
+class TestCommon:
+    def test_config_matches_constants(self):
+        config = experiment_config()
+        assert config.llc == EXPERIMENT_GEOMETRY
+        assert config.associativity == 16
+
+    def test_trace_length_fast(self):
+        assert trace_length(True) < trace_length(False)
+
+    def test_default_trace_deterministic(self):
+        import numpy as np
+
+        a = default_trace("473.astar", fast=True)
+        b = default_trace("473.astar", fast=True)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert all(len(line) >= 6 for line in lines[1:])
+
+
+class TestDrivers:
+    def test_fig1_structure(self):
+        results = fig01_rdd.run_fig1(fast=True)
+        assert len(results) == len(fig01_rdd.FIG1_BENCHMARKS)
+        report = fig01_rdd.format_report(results)
+        assert "436.cactusADM" in report
+
+    def test_fig2_sweep_keys(self):
+        sweeps = fig02_epsilon.run_fig2(fast=True)
+        for sweep in sweeps:
+            assert set(sweep.mpki_by_epsilon) == set(fig02_epsilon.EPSILONS)
+            assert sweep.best_epsilon in fig02_epsilon.EPSILONS
+
+    def test_fig6_fit_fields(self):
+        fits = fig06_model.run_fig6(fast=True, grid_step=48)
+        for fit in fits:
+            assert len(fit.pds) == len(fit.e_values) == len(fit.hit_rates)
+            assert -1.0 <= fit.correlation <= 1.0
+
+    def test_fig9_subset(self):
+        results = fig09_params.run_fig9(benchmarks=("473.astar",), fast=True)
+        assert len(results) == 1
+        buckets = fig09_params.pd_distribution(results)
+        assert sum(buckets.values()) == 1
+
+    def test_fig11_structure(self):
+        results = fig11_phases.run_fig11(phase_length=3000)
+        assert len(results) == 5
+        report = fig11_phases.format_report(results)
+        assert "PD trajectory" in report
+
+    def test_fig12_two_cores_smoke(self):
+        results = fig12_partitioning.run_fig12(2, num_mixes=1, length_per_thread=3000)
+        assert len(results) == 1
+        averages = fig12_partitioning.averages(results)
+        assert set(averages) == {"UCP", "PIPP", "PDP"}
+        report = fig12_partitioning.format_report({2: results})
+        assert "2-core" in report
+
+    def test_overhead_summary(self):
+        summary = overhead_report.run_overhead()
+        assert summary.search_cycles > 0
+        assert summary.search_fraction_of_interval < 0.05
+        assert "PDP-2" in overhead_report.format_report(summary)
+
+    def test_fig4_single_benchmark(self):
+        from repro.experiments import fig04_static_pdp
+
+        results = fig04_static_pdp.run_fig4(benchmarks=("473.astar",), fast=True)
+        assert len(results) == 1
+        assert results[0].best_pd_b in fig04_static_pdp.pd_grid()
+
+    def test_fig10_single_benchmark(self):
+        from repro.experiments import fig10_single_core
+
+        rows = fig10_single_core.run_fig10(
+            benchmarks=("473.astar",), fast=True, include_spdp_b=False
+        )
+        assert len(rows) == 1
+        assert "PDP-8" in rows[0].miss_reduction
+        avg = fig10_single_core.averages(rows)
+        assert avg.name == "AVERAGE"
+
+    def test_prefetch_structure(self):
+        from repro.experiments import prefetch_study
+
+        results = prefetch_study.run_prefetch_study(fast=True)
+        assert len(results) == len(prefetch_study.PREFETCH_BENCHMARKS)
+        for result in results:
+            assert set(result.hit_rate_by_mode) == set(prefetch_study.MODES)

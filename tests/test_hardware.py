@@ -1,0 +1,210 @@
+"""Tests for the PD compute processor and the SRAM overhead models."""
+
+import numpy as np
+import pytest
+
+from repro.core.hit_rate_model import find_best_pd
+from repro.hardware.overhead import (
+    dip_overhead_bits,
+    drrip_overhead_bits,
+    llc_sram_bits,
+    overhead_report,
+    pdp_overhead_bits,
+    ucp_overhead_bits,
+)
+from repro.hardware.pd_processor import (
+    Instruction,
+    PDProcessor,
+    assemble_pd_search,
+    normalize_rdd,
+    pd_search_integer,
+    run_pd_search,
+)
+from repro.memory.cache import CacheGeometry
+
+
+class TestProcessorISA:
+    def test_movi_and_add(self):
+        cpu = PDProcessor([])
+        cpu.run(
+            [
+                Instruction("MOVI", 8, 5),
+                Instruction("MOVI", 9, 7),
+                Instruction("ADD", 10, 8, 9),
+                Instruction("HALT"),
+            ]
+        )
+        assert cpu.registers[10] == 12
+
+    def test_eight_bit_bank_wraps(self):
+        cpu = PDProcessor([])
+        cpu.run([Instruction("MOVI", 0, 300), Instruction("HALT")])
+        assert cpu.registers[0] == 300 & 0xFF
+
+    def test_thirty_two_bit_bank_wraps(self):
+        cpu = PDProcessor([])
+        cpu.run([Instruction("MOVI", 8, 1 << 33), Instruction("HALT")])
+        assert cpu.registers[8] == 0
+
+    def test_div32_by_zero_yields_zero(self):
+        cpu = PDProcessor([])
+        cpu.run(
+            [
+                Instruction("MOVI", 8, 100),
+                Instruction("MOVI", 9, 0),
+                Instruction("DIV32", 10, 8, 9),
+                Instruction("HALT"),
+            ]
+        )
+        assert cpu.registers[10] == 0
+
+    def test_load_reads_counter_memory(self):
+        cpu = PDProcessor([11, 22, 33])
+        cpu.run(
+            [
+                Instruction("MOVI", 0, 2),
+                Instruction("LOAD", 8, 0),
+                Instruction("HALT"),
+            ]
+        )
+        assert cpu.registers[8] == 33
+
+    def test_load_out_of_range_is_zero(self):
+        cpu = PDProcessor([11])
+        cpu.run(
+            [Instruction("MOVI", 0, 9), Instruction("LOAD", 8, 0), Instruction("HALT")]
+        )
+        assert cpu.registers[8] == 0
+
+    def test_cycle_costs(self):
+        cpu = PDProcessor([])
+        cpu.run(
+            [
+                Instruction("MOVI", 8, 6),
+                Instruction("MOVI", 0, 7),
+                Instruction("MULT8", 9, 8, 0),
+                Instruction("DIV32", 10, 9, 8),
+                Instruction("HALT"),
+            ]
+        )
+        # 1 + 1 + 8 + 33 + 1 cycles.
+        assert cpu.cycles == 44
+        assert cpu.registers[9] == 42
+        assert cpu.registers[10] == 7
+
+    def test_branch_loop(self):
+        # Sum 1..5 with a BLT loop.
+        program = [
+            Instruction("MOVI", 0, 0),  # i
+            Instruction("MOVI", 1, 5),  # limit
+            Instruction("MOVI", 8, 0),  # sum
+            Instruction("ADDI", 0, 0, 1),  # loop: i += 1
+            Instruction("ADD", 8, 8, 0),
+            Instruction("BLT", 3, 0, 1),  # while i < limit
+            Instruction("HALT"),
+        ]
+        cpu = PDProcessor([])
+        cpu.run(program)
+        assert cpu.registers[8] == 15
+
+    def test_runaway_program_detected(self):
+        cpu = PDProcessor([])
+        with pytest.raises(RuntimeError):
+            cpu.run([Instruction("JMP", 0)], max_steps=100)
+
+    def test_unknown_opcode(self):
+        cpu = PDProcessor([])
+        with pytest.raises(ValueError):
+            cpu.run([Instruction("FROB", 0)])
+
+
+class TestPDSearchProgram:
+    def test_matches_python_replica(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            counts = rng.integers(0, 2000, size=64)
+            total = int(counts.sum() * rng.uniform(1.0, 4.0))
+            hw, _ = run_pd_search(counts, total, step=4, d_e=16)
+            assert hw == pd_search_integer(counts, total, step=4, d_e=16)
+
+    def test_close_to_float_model(self):
+        """The hardware's integer PD scores within 5% of the float optimum.
+
+        On noisy RDDs the E curve can be nearly flat, so compare E-values
+        (what the policy actually cares about), not argmax positions.
+        """
+        from repro.core.hit_rate_model import evaluate_e_curve
+
+        rng = np.random.default_rng(11)
+        for _ in range(20):
+            counts = rng.integers(0, 500, size=64)
+            total = int(counts.sum() * 1.5)
+            hw, _ = run_pd_search(counts, total, step=4, d_e=16)
+            curve = {p.pd: p.e_value for p in evaluate_e_curve(counts, total, 4, 16.0)}
+            best = max(curve.values())
+            assert curve[hw] >= 0.95 * best
+
+    def test_single_peak_exact(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[17] = 1000
+        hw, _ = run_pd_search(counts, 1800, step=4, d_e=16)
+        assert hw == 72
+
+    def test_cycles_negligible_vs_interval(self):
+        """Sec. 3: total search time is tiny vs the 512K-access interval."""
+        counts = np.ones(64, dtype=np.int64) * 100
+        _, cycles = run_pd_search(counts, 10_000, step=4, d_e=16)
+        assert cycles < 10_000  # < 2% of 512K accesses even at 1 access/cycle
+
+    def test_step_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            assemble_pd_search(num_bins=10, step=3, d_e=16)
+
+    def test_num_bins_bounded(self):
+        with pytest.raises(ValueError):
+            assemble_pd_search(num_bins=256, step=2, d_e=16)
+
+    def test_normalization_preserves_argmax(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[30] = 500_000  # forces a shift
+        scaled, total = normalize_rdd(counts, 1_000_000)
+        assert total < (1 << 12)
+        hw, _ = run_pd_search(counts, 1_000_000, step=4, d_e=16)
+        assert hw == 124
+
+
+class TestOverhead:
+    def test_llc_sram_bits(self):
+        geometry = CacheGeometry.from_capacity(2 * 1024 * 1024, ways=16)
+        bits = llc_sram_bits(geometry, tag_bits=24)
+        assert bits == geometry.total_lines * (512 + 24 + 1)
+
+    def test_pdp_overheads_match_paper_band(self):
+        """Sec. 6.2: PDP-2 ~0.6%, PDP-3 ~0.8% of a 2MB LLC."""
+        geometry = CacheGeometry.from_capacity(2 * 1024 * 1024, ways=16)
+        base = llc_sram_bits(geometry)
+        pdp2 = pdp_overhead_bits(geometry, n_c=2) / base
+        pdp3 = pdp_overhead_bits(geometry, n_c=3) / base
+        assert 0.004 < pdp2 < 0.007
+        assert 0.006 < pdp3 < 0.009
+
+    def test_drrip_cheaper_than_dip(self):
+        """Paper: DRRIP 0.4%, DIP 0.8% (2 vs 4 recency bits per line)."""
+        geometry = CacheGeometry.from_capacity(2 * 1024 * 1024, ways=16)
+        assert drrip_overhead_bits(geometry) < dip_overhead_bits(geometry)
+
+    def test_reuse_bit_only_without_bypass(self):
+        geometry = CacheGeometry(64, 16)
+        with_bypass = pdp_overhead_bits(geometry, bypass=True)
+        without = pdp_overhead_bits(geometry, bypass=False)
+        assert without - with_bypass == geometry.total_lines
+
+    def test_ucp_scales_with_threads(self):
+        geometry = CacheGeometry(256, 16)
+        assert ucp_overhead_bits(geometry, 16) > ucp_overhead_bits(geometry, 4)
+
+    def test_report_rows(self):
+        rows = overhead_report()
+        names = [row.policy for row in rows]
+        assert names == ["PDP-2", "PDP-3", "PDP-8", "DIP", "DRRIP"]
+        assert all(row.fraction_of_llc < 0.05 for row in rows)

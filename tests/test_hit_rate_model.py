@@ -1,0 +1,159 @@
+"""Tests for the E(d_p) hit-rate model (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hit_rate_model import (
+    HitRateModel,
+    evaluate_e_curve,
+    find_best_pd,
+    find_peaks,
+)
+from repro.core.rdd import RDCounterArray
+
+
+def brute_force_e(counts, total, pd, step, d_e):
+    """Direct evaluation of Eq. 1 at one candidate d_p."""
+    hits = 0.0
+    occupancy = 0.0
+    for index, count in enumerate(counts):
+        upper = (index + 1) * step
+        if upper > pd:
+            break
+        hits += count
+        occupancy += count * (index * step + (step + 1) / 2)
+    long_lines = total - hits
+    denominator = occupancy + long_lines * (pd + d_e)
+    return hits / denominator if denominator else 0.0
+
+
+class TestECurve:
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(1)
+        counts = rng.integers(0, 100, size=32)
+        total = int(counts.sum()) + 500
+        points = evaluate_e_curve(counts, total, step=4, d_e=16.0)
+        for point in points:
+            expected = brute_force_e(counts, total, point.pd, 4, 16.0)
+            assert point.e_value == pytest.approx(expected)
+
+    def test_one_point_per_bin(self):
+        counts = np.zeros(10, dtype=np.int64)
+        points = evaluate_e_curve(counts, 0, step=2)
+        assert [p.pd for p in points] == [2, 4, 6, 8, 10, 12, 14, 16, 18, 20]
+
+    def test_min_pd_filters(self):
+        counts = np.zeros(10, dtype=np.int64)
+        points = evaluate_e_curve(counts, 0, step=2, min_pd=9)
+        assert points[0].pd == 10
+
+    def test_empty_rdd_gives_zero(self):
+        points = evaluate_e_curve(np.zeros(4, dtype=np.int64), 0, step=1)
+        assert all(p.e_value == 0.0 for p in points)
+
+
+class TestBestPD:
+    def test_single_peak_rdd(self):
+        """The best PD covers a dominant peak, not more."""
+        counts = np.zeros(64, dtype=np.int64)
+        counts[17] = 1000  # distances 69-72 with step 4
+        total = 2000
+        pd = find_best_pd(counts, total, step=4, d_e=16.0)
+        assert pd == 72
+
+    def test_two_peaks_picks_higher_value(self):
+        """A near peak with enough mass wins over protecting both."""
+        counts = np.zeros(64, dtype=np.int64)
+        counts[1] = 900  # near reuse (distances 5-8)
+        counts[60] = 50  # tiny far peak
+        pd = find_best_pd(counts, 1000, step=4, d_e=16.0)
+        assert pd == 8
+
+    def test_far_mass_extends_pd(self):
+        """When far reuse dominates, protecting to it wins."""
+        counts = np.zeros(64, dtype=np.int64)
+        counts[1] = 100
+        counts[60] = 2000
+        pd = find_best_pd(counts, 2500, step=4, d_e=16.0)
+        assert pd == 244
+
+    def test_default_on_empty(self):
+        counts = np.zeros(8, dtype=np.int64)
+        assert find_best_pd(counts, 0, step=4, default_pd=16) == 16
+
+    def test_raises_on_no_candidates(self):
+        with pytest.raises(ValueError):
+            find_best_pd(np.array([], dtype=np.int64), 0, step=4)
+
+    def test_min_pd_respected(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[0] = 1000
+        pd = find_best_pd(counts, 1100, step=4, min_pd=16)
+        assert pd >= 16
+
+
+class TestPeaks:
+    def test_finds_local_maxima(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[5] = 500
+        counts[40] = 400
+        peaks = find_peaks(counts, 1500, step=4, d_e=16.0, max_peaks=3)
+        pds = {p.pd for p in peaks}
+        assert 24 in pds  # bin 5 boundary
+        assert len(peaks) <= 3
+
+    def test_strongest_first(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[5] = 500
+        counts[40] = 100
+        peaks = find_peaks(counts, 1000, step=4, d_e=16.0)
+        assert peaks[0].e_value >= peaks[-1].e_value
+
+    def test_monotone_curve_returns_global_max(self):
+        counts = np.ones(16, dtype=np.int64) * 10
+        peaks = find_peaks(counts, 160, step=4, d_e=16.0)
+        assert peaks
+
+
+class TestHitRateModelWrapper:
+    def test_bound_to_counter_array(self):
+        array = RDCounterArray(d_max=64, step=4)
+        for _ in range(500):
+            array.record_distance(30)
+            array.record_access()
+        model = HitRateModel(array, associativity=16)
+        assert model.best_pd() == 32
+        curve = model.curve()
+        assert len(curve) == 16
+
+    def test_d_e_defaults_to_associativity(self):
+        array = RDCounterArray(d_max=16, step=4)
+        model = HitRateModel(array, associativity=8)
+        assert model.d_e == 8.0
+
+
+class TestModelTracksSimulatedHitRate:
+    def test_e_correlates_with_spdp_hit_rate(self):
+        """Fig. 6: E(d_p) approximates the actual SPDP-B hit-rate curve.
+
+        Correlation over a static-PD sweep must be strongly positive.
+        """
+        from repro.memory.cache import CacheGeometry
+        from repro.sim.runner import sweep_static_pd
+        from repro.traces.analysis import reuse_distance_distribution
+        from repro.workloads.spec_like import make_benchmark_trace
+
+        trace = make_benchmark_trace("436.cactusADM", length=12_000, num_sets=16)
+        counts, _, total = reuse_distance_distribution(trace, num_sets=16, d_max=256)
+        pds = list(range(16, 257, 16))
+        results = sweep_static_pd(trace, CacheGeometry(16, 16), pds)
+        binned = np.array([counts[1:].copy()]).ravel()  # step=1 counts
+        e_values = []
+        hit_rates = []
+        for pd in pds:
+            e_values.append(
+                brute_force_e(binned, total, pd, 1, 16.0)
+            )
+            hit_rates.append(results[pd].hit_rate)
+        correlation = np.corrcoef(e_values, hit_rates)[0, 1]
+        assert correlation > 0.7

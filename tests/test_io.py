@@ -1,0 +1,33 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+
+from repro.traces.io import load_trace, save_trace
+from repro.traces.trace import Trace
+
+
+def test_round_trip(tmp_path):
+    trace = Trace(
+        [1, 2, 3],
+        pcs=[10, 20, 30],
+        thread_ids=[0, 1, 0],
+        name="roundtrip",
+        instructions_per_access=12.5,
+    )
+    path = tmp_path / "trace.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert list(loaded.addresses) == [1, 2, 3]
+    assert list(loaded.pcs) == [10, 20, 30]
+    assert list(loaded.thread_ids) == [0, 1, 0]
+    assert loaded.name == "roundtrip"
+    assert loaded.instructions_per_access == 12.5
+
+
+def test_round_trip_large(tmp_path):
+    rng = np.random.default_rng(0)
+    trace = Trace(rng.integers(0, 1 << 40, size=5000))
+    path = tmp_path / "big.npz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert np.array_equal(loaded.addresses, trace.addresses)

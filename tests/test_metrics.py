@@ -1,0 +1,71 @@
+"""Tests for the multi-core performance metrics (Sec. 5)."""
+
+import pytest
+
+from repro.sim.metrics import (
+    geometric_mean,
+    harmonic_mean_normalized_ipc,
+    miss_reduction_percent,
+    percent_change,
+    throughput,
+    weighted_ipc,
+)
+
+
+class TestWeightedIPC:
+    def test_no_slowdown_gives_thread_count(self):
+        assert weighted_ipc([1.0, 2.0], [1.0, 2.0]) == pytest.approx(2.0)
+
+    def test_half_speed_threads(self):
+        assert weighted_ipc([0.5, 1.0], [1.0, 2.0]) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_ipc([1.0], [1.0, 2.0])
+
+    def test_zero_single_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_ipc([1.0], [0.0])
+
+
+class TestThroughput:
+    def test_sum(self):
+        assert throughput([0.5, 1.5, 2.0]) == pytest.approx(4.0)
+
+
+class TestHarmonicMean:
+    def test_equal_speedups(self):
+        assert harmonic_mean_normalized_ipc([1.0, 1.0], [2.0, 2.0]) == pytest.approx(0.5)
+
+    def test_penalizes_imbalance(self):
+        """H punishes unfairness more than W does."""
+        balanced = harmonic_mean_normalized_ipc([1.0, 1.0], [2.0, 2.0])
+        unbalanced = harmonic_mean_normalized_ipc([1.8, 0.2], [2.0, 2.0])
+        assert unbalanced < balanced
+
+    def test_upper_bound_is_one(self):
+        assert harmonic_mean_normalized_ipc([2.0, 2.0], [2.0, 2.0]) == pytest.approx(1.0)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+
+class TestPercentHelpers:
+    def test_percent_change(self):
+        assert percent_change(1.1, 1.0) == pytest.approx(10.0)
+        assert percent_change(1.0, 0.0) == 0.0
+
+    def test_miss_reduction(self):
+        assert miss_reduction_percent(80, 100) == pytest.approx(20.0)
+        assert miss_reduction_percent(120, 100) == pytest.approx(-20.0)
+        assert miss_reduction_percent(0, 0) == 0.0

@@ -1,0 +1,204 @@
+"""Tests for the PDP replacement/bypass policy (Sec. 2.2)."""
+
+import pytest
+
+from repro.core.pdp_policy import PDPPolicy, make_spdp_b, make_spdp_nb
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.types import Access
+
+
+def make_cache(policy, num_sets=1, ways=4):
+    return SetAssociativeCache(CacheGeometry(num_sets, ways), policy)
+
+
+class TestProtection:
+    def test_insertion_sets_rpd(self):
+        policy = PDPPolicy(static_pd=7, bypass=False)
+        cache = make_cache(policy)
+        cache.access(Access(0))
+        assert policy.rpd_of(0, 0) == 7
+
+    def test_rpd_decrements_per_set_access(self):
+        policy = PDPPolicy(static_pd=7, bypass=False)
+        cache = make_cache(policy)
+        way = cache.access(Access(0)).way
+        cache.access(Access(1))
+        cache.access(Access(2))
+        assert policy.rpd_of(0, way) == 5
+
+    def test_rpd_saturates_at_zero(self):
+        policy = PDPPolicy(static_pd=2, bypass=False)
+        cache = make_cache(policy)
+        way = cache.access(Access(0)).way
+        for address in range(1, 4):
+            cache.access(Access(address))
+        assert policy.rpd_of(0, way) == 0
+
+    def test_hit_renews_protection(self):
+        policy = PDPPolicy(static_pd=5, bypass=False)
+        cache = make_cache(policy)
+        cache.access(Access(0))
+        cache.access(Access(1))
+        cache.access(Access(0))  # promotion resets RPD to PD
+        assert policy.rpd_of(0, cache.lookup(0)) == 5
+
+    def test_protected_line_never_evicted_while_unprotected_exists(self):
+        """The core PDP invariant."""
+        import random
+
+        policy = PDPPolicy(static_pd=6, bypass=False)
+        cache = make_cache(policy, ways=4)
+        rng = random.Random(0)
+        for _ in range(2000):
+            address = rng.randrange(30)
+            # RPDs are decremented once by the access itself before the
+            # victim is chosen; compare against the post-decrement values.
+            rpds_at_selection = [max(0, policy.rpd_of(0, w) - 1) for w in range(4)]
+            valid_before = list(cache.valid[0])
+            result = cache.access(Access(address))
+            if result.evicted is not None and all(valid_before):
+                victim_rpd = rpds_at_selection[result.way]
+                if any(r == 0 for r in rpds_at_selection):
+                    assert victim_rpd == 0
+
+
+class TestVictimSelection:
+    def test_unprotected_line_chosen(self):
+        policy = PDPPolicy(static_pd=2, bypass=False)
+        cache = make_cache(policy, ways=2)
+        cache.access(Access(0))
+        cache.access(Access(1))
+        cache.access(Access(1))  # 0's RPD has expired by now
+        result = cache.access(Access(2))
+        assert result.evicted == 0
+
+    def test_inclusive_prefers_inserted_over_reused(self):
+        """With all lines protected, evict the youngest *inserted* line."""
+        policy = PDPPolicy(static_pd=200, bypass=False)
+        cache = make_cache(policy, ways=3)
+        cache.access(Access(0))
+        cache.access(Access(0))  # 0 is reused
+        cache.access(Access(1))
+        cache.access(Access(2))  # 1, 2 inserted, not reused
+        result = cache.access(Access(3))
+        assert result.evicted == 2  # youngest inserted (highest RPD)
+
+    def test_inclusive_falls_back_to_reused(self):
+        policy = PDPPolicy(static_pd=200, bypass=False)
+        cache = make_cache(policy, ways=2)
+        cache.access(Access(0))
+        cache.access(Access(0))
+        cache.access(Access(1))
+        cache.access(Access(1))  # both reused, both protected
+        result = cache.access(Access(2))
+        assert result.evicted == 1  # youngest reused
+
+
+class TestBypass:
+    def test_bypasses_when_all_protected(self):
+        policy = PDPPolicy(static_pd=200, bypass=True)
+        cache = make_cache(policy, ways=2)
+        cache.access(Access(0))
+        cache.access(Access(1))
+        result = cache.access(Access(2))
+        assert result.bypassed
+        assert cache.lookup(0) is not None and cache.lookup(1) is not None
+
+    def test_bypass_counts_as_set_access(self):
+        """Bypassed accesses still age the RPDs (Sec. 3)."""
+        policy = PDPPolicy(static_pd=3, bypass=True)
+        cache = make_cache(policy, ways=2)
+        way = cache.access(Access(0)).way
+        cache.access(Access(1))
+        cache.access(Access(2))  # bypass
+        assert policy.rpd_of(0, way) == 1
+
+    def test_inserts_once_protection_expires(self):
+        policy = PDPPolicy(static_pd=3, bypass=True)
+        cache = make_cache(policy, ways=2)
+        cache.access(Access(0))  # rpd(0) = 3
+        cache.access(Access(1))  # rpd(0) = 2, rpd(1) = 3
+        cache.access(Access(2))  # decrement -> 1, 2: bypass
+        result = cache.access(Access(3))  # decrement -> 0, 1: 0 expires
+        assert not result.bypassed
+        assert result.evicted == 0
+
+
+class TestDistanceStep:
+    def test_step_adapts_to_pd(self):
+        """S_d gives the PD full n_c-bit resolution: ceil(72/7) = 11."""
+        policy = PDPPolicy(static_pd=72, bypass=False, n_c=3, d_max=256)
+        assert policy.distance_step == 11
+        cache = make_cache(policy)
+        cache.access(Access(0))
+        # ceil(72 / 11) = 7 RPD units -> ~77 accesses of protection.
+        assert policy.rpd_of(0, 0) == 7
+
+    def test_step_capped_at_paper_bound(self):
+        """S_d never exceeds d_max / 2^n_c (paper Sec. 3)."""
+        policy = PDPPolicy(static_pd=256, bypass=False, n_c=3, d_max=256)
+        assert policy.distance_step == 32
+        assert policy.max_distance_step == 32
+
+    def test_small_pd_not_overprotected(self):
+        """PD = 16 with n_c = 2 protects ~18 accesses, not 64."""
+        policy = PDPPolicy(static_pd=16, bypass=False, n_c=2, d_max=256)
+        assert policy.distance_step == 6
+        assert policy.distance_step * policy.rpd_max < 2 * 16
+
+    def test_rpds_tick_every_sd_accesses(self):
+        policy = PDPPolicy(static_pd=64, bypass=False, n_c=3, d_max=256)
+        step = policy.distance_step
+        assert step == 10  # ceil(64 / 7)
+        cache = make_cache(policy)
+        way = cache.access(Access(0)).way
+        start = policy.rpd_of(0, way)
+        for address in range(1, step):
+            cache.access(Access(address & 3))
+        # step-1 further accesses: at most one tick has elapsed.
+        assert policy.rpd_of(0, way) in (start, start - 1)
+        for address in range(3 * step):
+            cache.access(Access(address & 3))
+        assert policy.rpd_of(0, way) < start
+
+    def test_rpd_capped_at_nc_bits(self):
+        policy = PDPPolicy(static_pd=256, bypass=False, n_c=2, d_max=256)
+        cache = make_cache(policy)
+        cache.access(Access(0))
+        assert policy.rpd_of(0, 0) <= 3
+
+    def test_nc_validation(self):
+        with pytest.raises(ValueError):
+            PDPPolicy(static_pd=10, n_c=0)
+
+
+class TestDynamicPDP:
+    def test_engine_created_when_dynamic(self):
+        policy = PDPPolicy()
+        make_cache(policy, num_sets=16, ways=16)
+        assert policy.engine is not None
+
+    def test_static_has_no_engine(self):
+        policy = PDPPolicy(static_pd=50)
+        make_cache(policy)
+        assert policy.engine is None
+        assert policy.current_pd == 50
+
+    def test_dynamic_pd_updates(self):
+        policy = PDPPolicy(recompute_interval=500, sampler_mode="full", step=4)
+        cache = make_cache(policy, num_sets=1, ways=16)
+        for index in range(2000):
+            cache.access(Access(index % 40))
+        assert policy.engine.recompute_count >= 1
+        assert 40 <= policy.current_pd <= 48
+
+
+class TestFactories:
+    def test_spdp_nb(self):
+        policy = make_spdp_nb(72)
+        assert policy.static_pd == 72 and not policy.bypass
+
+    def test_spdp_b(self):
+        policy = make_spdp_b(72)
+        assert policy.static_pd == 72 and policy.bypass
+        assert policy.supports_bypass

@@ -1,0 +1,104 @@
+"""Tests for PIPP."""
+
+import random
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.partitioning.pipp import PIPPPolicy
+from repro.types import Access
+
+
+class TestPIPP:
+    def test_insertion_at_allocation_position(self):
+        policy = PIPPPolicy(num_threads=2, repartition_interval=10**9, seed=0)
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy)
+        policy.allocation = [3, 1]
+        way = cache.access(Access(0, thread_id=0)).way
+        assert policy.priority_of(0, way) == 3
+        way = cache.access(Access(1, thread_id=1)).way
+        assert policy.priority_of(0, way) == 1
+
+    def test_victim_is_lowest_priority(self):
+        policy = PIPPPolicy(num_threads=1, repartition_interval=10**9, seed=0)
+        cache = SetAssociativeCache(CacheGeometry(1, 2), policy)
+        policy.allocation = [1]
+        cache.access(Access(0))
+        cache.access(Access(1))
+        bottom_way = policy._order[0][0]
+        bottom_tag = cache.tags[0][bottom_way]
+        result = cache.access(Access(2))
+        assert result.evicted == bottom_tag
+
+    def test_promotion_moves_one_slot(self):
+        policy = PIPPPolicy(num_threads=1, p_prom=1.0, repartition_interval=10**9)
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy)
+        policy.allocation = [2]
+        way = cache.access(Access(0)).way
+        before = policy.priority_of(0, way)
+        cache.access(Access(0))
+        assert policy.priority_of(0, way) == min(before + 1, 3)
+
+    def test_no_promotion_with_zero_probability(self):
+        policy = PIPPPolicy(num_threads=1, p_prom=0.0, repartition_interval=10**9)
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy)
+        policy.allocation = [2]
+        way = cache.access(Access(0)).way
+        before = policy.priority_of(0, way)
+        cache.access(Access(0))
+        assert policy.priority_of(0, way) == before
+
+    def test_streaming_thread_inserts_at_bottom(self):
+        policy = PIPPPolicy(num_threads=2, repartition_interval=10**9, p_stream=1)
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy)
+        policy.allocation = [3, 3]
+        policy.streaming[1] = True
+        way = cache.access(Access(5, thread_id=1)).way
+        assert policy.priority_of(0, way) == 1
+
+    def test_streaming_detection(self):
+        policy = PIPPPolicy(
+            num_threads=2,
+            repartition_interval=512,
+            theta_m=100,
+            theta_mr=0.9,
+            num_sampled_sets=8,
+        )
+        cache = SetAssociativeCache(CacheGeometry(8, 4), policy)
+        fresh = 1000
+        rng = random.Random(0)
+        for index in range(2048):
+            if index % 2 == 0:
+                cache.access(Access(fresh * 8, thread_id=1))  # pure stream
+                fresh += 1
+            else:
+                cache.access(Access(rng.randrange(6) * 8, thread_id=0))
+        assert policy.streaming[1]
+        assert not policy.streaming[0]
+
+    def test_pseudo_partitioning_protects_reuser(self):
+        """Reusing thread keeps hitting despite a streaming co-runner.
+
+        6 hot blocks interleaved with a stream give an LRU reuse gap of
+        12 distinct lines > 8 ways (LRU thrashes); PIPP's low-priority
+        stream insertion must preserve the hot set.
+        """
+        from repro.policies.lru import LRUPolicy
+
+        def run(policy):
+            cache = SetAssociativeCache(CacheGeometry(8, 8), policy)
+            fresh = 1000
+            hits_t0 = 0
+            for index in range(8000):
+                if index % 2 == 0:
+                    address = (index // 2 % 6) * 8  # 6 hot blocks in set 0
+                    hits_t0 += cache.access(Access(address, thread_id=0)).hit
+                else:
+                    cache.access(Access(fresh * 8, thread_id=1))
+                    fresh += 1
+            return hits_t0
+
+        pipp_hits = run(
+            PIPPPolicy(num_threads=2, repartition_interval=512, num_sampled_sets=8)
+        )
+        lru_hits = run(LRUPolicy())
+        assert pipp_hits > lru_hits
+        assert pipp_hits > 2000

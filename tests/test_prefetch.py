@@ -1,0 +1,123 @@
+"""Tests for the stream prefetcher and prefetch-aware PDP (Sec. 6.5)."""
+
+import pytest
+
+from repro.core.prefetch import (
+    PrefetchAwarePDPPolicy,
+    StreamPrefetcher,
+    interleave_prefetches,
+)
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.types import Access, AccessType
+
+
+class TestStreamPrefetcher:
+    def test_detects_ascending_stream(self):
+        prefetcher = StreamPrefetcher(degree=2, train_threshold=2)
+        issued = []
+        for address in range(10):
+            issued += prefetcher.observe(Access(address))
+        assert issued, "an ascending stream must trigger prefetches"
+        assert all(p.kind is AccessType.PREFETCH for p in issued)
+
+    def test_prefetches_run_ahead(self):
+        prefetcher = StreamPrefetcher(degree=2, train_threshold=2)
+        last = None
+        for address in range(10):
+            for prefetch in prefetcher.observe(Access(address)):
+                assert prefetch.address > address
+
+    def test_detects_descending_stream(self):
+        prefetcher = StreamPrefetcher(degree=1, train_threshold=2)
+        issued = []
+        for address in range(100, 80, -1):
+            issued += prefetcher.observe(Access(address))
+        assert issued
+        assert all(p.address < 100 for p in issued)
+
+    def test_random_traffic_triggers_nothing(self):
+        import random
+
+        rng = random.Random(0)
+        prefetcher = StreamPrefetcher(train_threshold=2)
+        issued = []
+        for _ in range(200):
+            issued += prefetcher.observe(Access(rng.randrange(1 << 30)))
+        assert issued == []
+
+    def test_stream_table_evicts_lru(self):
+        prefetcher = StreamPrefetcher(num_streams=2)
+        prefetcher.observe(Access(0))
+        prefetcher.observe(Access(1 << 20))
+        prefetcher.observe(Access(2 << 20))
+        assert len(prefetcher._streams) == 2
+
+    def test_interleave_injects_after_demand(self):
+        prefetcher = StreamPrefetcher(degree=1, train_threshold=1)
+        stream = [Access(a) for a in range(6)]
+        merged = list(interleave_prefetches(stream, prefetcher))
+        kinds = [a.kind for a in merged]
+        assert AccessType.PREFETCH in kinds
+        assert len(merged) > len(stream)
+
+
+class TestPrefetchAwarePDP:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchAwarePDPPolicy(prefetch_mode="nope")
+
+    def test_pd1_inserts_prefetches_barely_protected(self):
+        policy = PrefetchAwarePDPPolicy(
+            prefetch_mode="pd1", static_pd=100, bypass=True
+        )
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy)
+        cache.access(Access(0, kind=AccessType.PREFETCH))
+        assert policy.rpd_of(0, 0) == 1
+        cache.access(Access(1))
+        assert policy.rpd_of(0, 1) == 100
+
+    def test_bypass_mode_drops_prefetches(self):
+        policy = PrefetchAwarePDPPolicy(
+            prefetch_mode="bypass", static_pd=100, bypass=True
+        )
+        cache = SetAssociativeCache(CacheGeometry(1, 2), policy)
+        cache.access(Access(0))
+        cache.access(Access(1))
+        result = cache.access(Access(2, kind=AccessType.PREFETCH))
+        assert result.bypassed
+
+    def test_bypass_mode_fills_prefetch_into_invalid_way(self):
+        """Bypass only applies at victim selection; empty ways still fill."""
+        policy = PrefetchAwarePDPPolicy(
+            prefetch_mode="bypass", static_pd=100, bypass=True
+        )
+        cache = SetAssociativeCache(CacheGeometry(1, 2), policy)
+        result = cache.access(Access(0, kind=AccessType.PREFETCH))
+        assert not result.bypassed
+
+    def test_none_mode_treats_prefetches_as_demand(self):
+        policy = PrefetchAwarePDPPolicy(
+            prefetch_mode="none", static_pd=100, bypass=True
+        )
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy)
+        cache.access(Access(0, kind=AccessType.PREFETCH))
+        assert policy.rpd_of(0, 0) == 100
+
+    def test_prefetch_aware_reduces_pollution(self):
+        """pd1 mode keeps a reused working set against a prefetch flood."""
+        demand = []
+        for round_index in range(200):
+            demand += [Access(0), Access(4), Access(8)]
+            demand += [
+                Access(1000 + 4 * (3 * round_index + k), kind=AccessType.PREFETCH)
+                for k in range(3)
+            ]
+        unaware = PrefetchAwarePDPPolicy(prefetch_mode="none", static_pd=24, bypass=True)
+        aware = PrefetchAwarePDPPolicy(prefetch_mode="pd1", static_pd=24, bypass=True)
+        hits = {}
+        for name, policy in (("unaware", unaware), ("aware", aware)):
+            cache = SetAssociativeCache(CacheGeometry(4, 4), policy)
+            for access in demand:
+                cache.access(access)
+            hits[name] = cache.stats.hits
+        assert hits["aware"] >= hits["unaware"]

@@ -1,0 +1,165 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hit_rate_model import evaluate_e_curve, find_best_pd
+from repro.core.pdp_policy import PDPPolicy
+from repro.core.rdd import RDCounterArray
+from repro.core.sampler import RDSampler
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.policies.belady import BeladyPolicy
+from repro.policies.lip_bip_dip import DIPPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.rrip import DRRIPPolicy
+from repro.traces.analysis import reuse_distances, stack_distances
+from repro.types import Access
+
+address_lists = st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=300)
+
+
+@given(address_lists)
+@settings(max_examples=50, deadline=None)
+def test_no_duplicate_tags_any_policy(addresses):
+    """No policy sequence can create duplicate tags within a set."""
+    cache = SetAssociativeCache(CacheGeometry(4, 4), LRUPolicy())
+    for address in addresses:
+        cache.access(Access(address))
+        for set_index in range(4):
+            resident = cache.resident_addresses(set_index)
+            assert len(resident) == len(set(resident))
+
+
+@given(address_lists)
+@settings(max_examples=50, deadline=None)
+def test_hits_plus_misses_equals_accesses(addresses):
+    for policy in (LRUPolicy(), DIPPolicy(), DRRIPPolicy()):
+        cache = SetAssociativeCache(CacheGeometry(2, 4), policy)
+        for address in addresses:
+            cache.access(Access(address))
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+        assert stats.fills + stats.bypasses == stats.misses
+
+
+@given(address_lists)
+@settings(max_examples=40, deadline=None)
+def test_belady_dominates_lru(addresses):
+    """OPT's hit count is an upper bound for LRU's on any trace."""
+    lru = SetAssociativeCache(CacheGeometry(2, 2), LRUPolicy())
+    opt = SetAssociativeCache(CacheGeometry(2, 2), BeladyPolicy(addresses))
+    for address in addresses:
+        lru.access(Access(address))
+        opt.access(Access(address))
+    assert opt.stats.hits >= lru.stats.hits
+
+
+@given(address_lists)
+@settings(max_examples=40, deadline=None)
+def test_lru_inclusion_property(addresses):
+    """LRU hit counts are monotone in associativity (stack property)."""
+    hit_counts = []
+    for ways in (1, 2, 4, 8):
+        cache = SetAssociativeCache(CacheGeometry(1, ways), LRUPolicy())
+        for address in addresses:
+            cache.access(Access(address))
+        hit_counts.append(cache.stats.hits)
+    assert all(hit_counts[i] <= hit_counts[i + 1] for i in range(3))
+
+
+@given(address_lists)
+@settings(max_examples=40, deadline=None)
+def test_stack_distance_never_exceeds_reuse_distance(addresses):
+    """Unique-line distance is bounded by access-based distance - 1."""
+    reuse = reuse_distances(addresses)
+    stack = stack_distances(addresses)
+    assert len(reuse) == len(stack)
+    for access_based, unique_based in zip(reuse, stack):
+        assert unique_based <= access_based - 1
+
+
+@given(address_lists)
+@settings(max_examples=40, deadline=None)
+def test_full_sampler_matches_offline_analysis(addresses):
+    """The Full RD sampler reproduces offline reuse distances exactly."""
+    measured = []
+    sampler = RDSampler.full(1, d_max=512, on_distance=measured.append)
+    for address in addresses:
+        sampler.observe(0, address)
+    exact = [d for d in reuse_distances(addresses) if d <= 512]
+    assert measured == exact
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=4, max_size=64),
+    st.integers(min_value=0, max_value=100_000),
+)
+@settings(max_examples=60, deadline=None)
+def test_best_pd_is_argmax_of_curve(counts, extra):
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum()) + extra
+    points = evaluate_e_curve(counts, total, step=4, d_e=16.0)
+    best = find_best_pd(counts, total, step=4, d_e=16.0, default_pd=4)
+    best_value = max(point.e_value for point in points)
+    chosen = next(point for point in points if point.pd == best)
+    assert chosen.e_value == best_value
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=256), min_size=1, max_size=500),
+    st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=40, deadline=None)
+def test_counter_array_conserves_mass(distances, step):
+    array = RDCounterArray(d_max=256, step=step)
+    for distance in distances:
+        array.record_access()
+        array.record_distance(distance)
+    if not array.frozen:
+        assert array.reuse_count == len(distances)
+        assert array.long_count == 0
+
+
+@given(address_lists, st.integers(min_value=1, max_value=64))
+@settings(max_examples=40, deadline=None)
+def test_pdp_bypass_never_loses_protected_lines(addresses, pd):
+    """Under bypass, a line is only ever evicted once unprotected."""
+    policy = PDPPolicy(static_pd=pd, bypass=True)
+    cache = SetAssociativeCache(CacheGeometry(2, 4), policy)
+    for address in addresses:
+        rpds = {
+            (s, w): policy.rpd_of(s, w) for s in range(2) for w in range(4)
+        }
+        result = cache.access(Access(address))
+        if result.evicted is not None:
+            set_index = cache.geometry.set_index(address)
+            # The victim's RPD (after the access's own decrement) was 0.
+            assert max(0, rpds[(set_index, result.way)] - 1) == 0
+
+
+@given(address_lists)
+@settings(max_examples=30, deadline=None)
+def test_deterministic_replay(addresses):
+    """Two identical runs of any seeded policy give identical stats."""
+    outcomes = []
+    for _ in range(2):
+        cache = SetAssociativeCache(CacheGeometry(2, 4), DRRIPPolicy(seed=5))
+        for address in addresses:
+            cache.access(Access(address))
+        outcomes.append((cache.stats.hits, cache.stats.misses))
+    assert outcomes[0] == outcomes[1]
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=500), min_size=8, max_size=64),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=40, deadline=None)
+def test_hardware_search_matches_replica(counts, extra):
+    from repro.hardware.pd_processor import pd_search_integer, run_pd_search
+
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum()) + extra
+    hw, _ = run_pd_search(counts, total, step=4, d_e=16)
+    assert hw == pd_search_integer(counts, total, step=4, d_e=16)

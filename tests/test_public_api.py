@@ -1,0 +1,106 @@
+"""Public-API surface tests: imports, exports, example importability."""
+
+import importlib
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_subpackage_all_names_resolve(self):
+        for module_name in (
+            "repro.core",
+            "repro.policies",
+            "repro.partitioning",
+            "repro.memory",
+            "repro.sim",
+            "repro.traces",
+            "repro.workloads",
+            "repro.hardware",
+        ):
+            module = importlib.import_module(module_name)
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module_name}.{name} missing"
+
+    def test_policy_classes_exported(self):
+        from repro import (
+            BeladyPolicy,
+            ClassifiedPDPPolicy,
+            PDPPolicy,
+            PDPartitionPolicy,
+        )
+
+        assert PDPPolicy is not None
+        assert ClassifiedPDPPolicy is not None
+        assert BeladyPolicy is not None
+        assert PDPartitionPolicy is not None
+
+
+class TestDocstrings:
+    def test_every_public_module_documented(self):
+        import pkgutil
+
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            if info.name.endswith("__main__"):
+                continue
+            module = importlib.import_module(info.name)
+            assert module.__doc__, f"{info.name} has no module docstring"
+
+    def test_key_classes_documented(self):
+        from repro.core.pdp_policy import PDPPolicy
+        from repro.core.sampler import RDSampler
+        from repro.partitioning.pd_partition import PDPartitionPolicy
+
+        for cls in (PDPPolicy, RDSampler, PDPartitionPolicy):
+            assert cls.__doc__ and len(cls.__doc__) > 50
+
+
+class TestExamples:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "quickstart",
+            "protecting_distance_tour",
+            "bypass_study",
+            "phase_adaptation",
+            "shared_cache_partitioning",
+            "policy_zoo",
+        ],
+    )
+    def test_example_compiles(self, name):
+        path = EXAMPLES_DIR / f"{name}.py"
+        source = path.read_text()
+        compile(source, str(path), "exec")
+
+    def test_quickstart_runs(self):
+        """The quickstart example must execute end to end."""
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "dynamic PD settled at" in result.stdout
+
+
+class TestCLIExperimentPath:
+    def test_experiment_fig1_fast(self, capsys):
+        from repro.cli import main
+
+        assert main(["experiment", "fig1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out

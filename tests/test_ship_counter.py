@@ -1,0 +1,131 @@
+"""Tests for SHiP and the counter-based expiration policy (Sec. 7 baselines)."""
+
+import random
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.policies.counter_based import CounterBasedPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.rrip import SRRIPPolicy
+from repro.policies.ship import SHiPPolicy
+from repro.types import Access
+
+
+def run(policy, accesses, num_sets=1, ways=4):
+    cache = SetAssociativeCache(CacheGeometry(num_sets, ways), policy)
+    for access in accesses:
+        cache.access(access if isinstance(access, Access) else Access(int(access)))
+    return cache
+
+
+def mixed_stream(length, num_sets=1, hot_pc=0x100, stream_pc=0x200, hot_blocks=2):
+    """Hot blocks re-referenced by one PC; a one-use stream by another."""
+    accesses = []
+    fresh = 1000
+    for index in range(length):
+        if index % 2 == 0:
+            accesses.append(
+                Access((index // 2 % hot_blocks) * num_sets, pc=hot_pc)
+            )
+        else:
+            accesses.append(Access(fresh * num_sets, pc=stream_pc))
+            fresh += 1
+    return accesses
+
+
+class TestSHiP:
+    def test_signature_folding_bounded(self):
+        policy = SHiPPolicy(signature_bits=8)
+        for pc in (0, 0xDEADBEEF, 1 << 40):
+            assert 0 <= policy.signature_of(pc) < 256
+
+    def test_streaming_signature_trains_to_zero(self):
+        policy = SHiPPolicy()
+        run(policy, mixed_stream(3000))
+        assert policy.shct[policy.signature_of(0x200)] == 0
+        assert policy.shct[policy.signature_of(0x100)] > 0
+
+    def test_streaming_fills_insert_distant(self):
+        policy = SHiPPolicy()
+        cache = run(policy, mixed_stream(3000))
+        # After training, a new stream fill must carry RRPV max.
+        result = cache.access(Access(999_999, pc=0x200))
+        assert policy._rrpv[0][result.way] == policy.rrpv_max
+
+    def test_outcome_bit_counted_once(self):
+        policy = SHiPPolicy()
+        cache = run(policy, [Access(0, pc=0x300)])
+        signature = policy.signature_of(0x300)
+        before = policy.shct[signature]
+        cache.access(Access(0, pc=0x300))
+        cache.access(Access(0, pc=0x300))  # second hit must not re-train
+        assert policy.shct[signature] == before + 1
+
+    def test_beats_srrip_on_pc_separable_mix(self):
+        """SHiP's whole point: stream lines stop displacing the hot set."""
+        accesses = mixed_stream(6000, hot_blocks=3)
+        ship = run(SHiPPolicy(), accesses)
+        srrip = run(SRRIPPolicy(), accesses)
+        assert ship.stats.hits >= srrip.stats.hits
+
+    def test_registered(self):
+        from repro.policies.base import make_policy
+
+        assert isinstance(make_policy("ship"), SHiPPolicy)
+
+
+class TestCounterBased:
+    def test_intervals_reset_on_touch(self):
+        policy = CounterBasedPolicy()
+        cache = run(policy, [Access(0), Access(1), Access(0)])
+        assert policy._interval[0][cache.lookup(0)] == 0
+
+    def test_threshold_learns_reuse_interval(self):
+        policy = CounterBasedPolicy()
+        cache = SetAssociativeCache(CacheGeometry(1, 4), policy)
+        pc = 0x40
+        cls = policy.classify(pc)
+        # Re-reference at interval 3, repeatedly.
+        for _ in range(20):
+            cache.access(Access(0, pc=pc))
+            cache.access(Access(1, pc=pc))
+            cache.access(Access(2, pc=pc))
+        assert policy.thresholds[cls] <= 16
+
+    def test_expired_line_preferred_victim(self):
+        policy = CounterBasedPolicy(slack=1.0)
+        cache = SetAssociativeCache(CacheGeometry(1, 2), policy)
+        pc = 0x44
+        policy.thresholds[policy.classify(pc)] = 2
+        cache.access(Access(0, pc=pc))
+        cache.access(Access(1, pc=pc))
+        cache.access(Access(1, pc=pc))
+        cache.access(Access(1, pc=pc))  # block 0's interval now > 2
+        result = cache.access(Access(2, pc=pc))
+        assert result.evicted == 0
+
+    def test_falls_back_to_lru_without_expiry(self):
+        policy = CounterBasedPolicy()
+        cache = run(policy, [Access(a) for a in (0, 1, 2, 3, 0, 4)])
+        # No class has a learned short threshold yet: LRU victim is 1.
+        assert cache.lookup(1) is None
+
+    def test_eviction_shrinks_overgrown_threshold(self):
+        policy = CounterBasedPolicy()
+        cls = policy.classify(0x80)
+        before = policy.thresholds[cls]
+        cache = SetAssociativeCache(CacheGeometry(1, 1), policy)
+        cache.access(Access(0, pc=0x80))
+        cache.access(Access(1, pc=0x80))  # evicts 0 at interval 1
+        assert policy.thresholds[cls] < before
+
+    def test_competitive_with_lru_on_random_traffic(self):
+        rng = random.Random(4)
+        accesses = [Access(rng.randrange(10), pc=0x10) for _ in range(2000)]
+        counter = run(CounterBasedPolicy(), accesses)
+        lru = run(LRUPolicy(), accesses)
+        assert counter.stats.hits >= 0.9 * lru.stats.hits
+
+    def test_registered(self):
+        from repro.policies.base import make_policy
+
+        assert isinstance(make_policy("counter-based"), CounterBasedPolicy)

@@ -1,0 +1,75 @@
+"""Tests for CacheStats and the Fig. 5 occupancy tracker."""
+
+import pytest
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.stats import CacheStats, OccupancyTracker
+from repro.policies.lru import LRUPolicy
+from repro.types import Access
+
+
+class TestCacheStats:
+    def test_rates(self):
+        stats = CacheStats(accesses=10, hits=4, misses=6, bypasses=2)
+        assert stats.hit_rate == pytest.approx(0.4)
+        assert stats.miss_rate == pytest.approx(0.6)
+        assert stats.bypass_fraction == pytest.approx(0.2)
+
+    def test_empty_rates_are_zero(self):
+        stats = CacheStats()
+        assert stats.hit_rate == 0.0
+        assert stats.mpki(0) == 0.0
+
+    def test_mpki(self):
+        stats = CacheStats(misses=50)
+        assert stats.mpki(10_000) == pytest.approx(5.0)
+
+    def test_reset(self):
+        stats = CacheStats(accesses=5, hits=5)
+        stats.reset()
+        assert stats.accesses == 0 and stats.hits == 0
+
+
+class TestOccupancyTracker:
+    def _make(self, threshold=2):
+        geometry = CacheGeometry(num_sets=1, ways=2)
+        cache = SetAssociativeCache(geometry, LRUPolicy())
+        tracker = OccupancyTracker(short_threshold=threshold)
+        cache.observers.append(tracker)
+        return cache, tracker
+
+    def test_hit_closes_interval(self):
+        cache, tracker = self._make()
+        cache.access(Access(0))
+        cache.access(Access(1))
+        cache.access(Access(0))  # hit: occupancy interval of length 2
+        assert tracker.breakdown.hits == 1
+        assert tracker.breakdown.occupancy_promoted == 2
+
+    def test_eviction_classified_by_threshold(self):
+        cache, tracker = self._make(threshold=2)
+        cache.access(Access(0))
+        cache.access(Access(1))
+        cache.access(Access(2))  # evicts block 0 with occupancy 2 (short)
+        assert tracker.breakdown.evictions_short == 1
+        # Let block 1 sit while 2 is re-hit, then evict it: occupancy > 2.
+        cache.access(Access(2))
+        cache.access(Access(2))
+        cache.access(Access(3))  # evicts block 1 with occupancy 5 (long)
+        assert tracker.breakdown.evictions_long == 1
+
+    def test_fractions_sum_to_one(self):
+        cache, tracker = self._make()
+        for address in [0, 1, 0, 2, 3, 0, 4, 1, 2]:
+            cache.access(Access(address))
+        access_fractions = tracker.breakdown.access_fractions()
+        assert sum(access_fractions.values()) == pytest.approx(1.0)
+        occupancy_fractions = tracker.breakdown.occupancy_fractions()
+        assert sum(occupancy_fractions.values()) == pytest.approx(1.0)
+
+    def test_max_eviction_occupancy(self):
+        cache, tracker = self._make()
+        cache.access(Access(0))
+        for i in range(1, 6):
+            cache.access(Access(i))
+        assert tracker.breakdown.max_eviction_occupancy >= 2

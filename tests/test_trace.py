@@ -1,0 +1,66 @@
+"""Tests for repro.traces.trace."""
+
+import numpy as np
+import pytest
+
+from repro.traces.trace import Trace
+from repro.types import Access
+
+
+class TestTraceConstruction:
+    def test_basic(self):
+        trace = Trace([1, 2, 3])
+        assert len(trace) == 3
+        assert list(trace.addresses) == [1, 2, 3]
+        assert list(trace.pcs) == [0, 0, 0]
+
+    def test_with_pcs(self):
+        trace = Trace([1, 2], pcs=[10, 20])
+        assert list(trace.pcs) == [10, 20]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Trace([1, 2, 3], pcs=[1])
+
+    def test_instruction_count(self):
+        trace = Trace([1, 2, 3, 4], instructions_per_access=25.0)
+        assert trace.instruction_count == 100
+
+    def test_iteration_yields_accesses(self):
+        trace = Trace([5, 6], pcs=[100, 200], thread_ids=[0, 1])
+        items = list(trace)
+        assert items[0] == Access(5, 100, thread_id=0)
+        assert items[1].thread_id == 1
+
+    def test_getitem(self):
+        trace = Trace([7, 8])
+        assert trace[1].address == 8
+
+
+class TestTraceTransforms:
+    def test_slice(self):
+        trace = Trace(range(10))
+        sub = trace.slice(2, 5)
+        assert list(sub.addresses) == [2, 3, 4]
+        assert len(sub) == 3
+
+    def test_concat(self):
+        joined = Trace([1, 2]).concat(Trace([3]))
+        assert list(joined.addresses) == [1, 2, 3]
+
+    def test_with_thread_id(self):
+        tagged = Trace([1, 2]).with_thread_id(3)
+        assert list(tagged.thread_ids) == [3, 3]
+
+    def test_offset_addresses(self):
+        shifted = Trace([1, 2]).offset_addresses(100)
+        assert list(shifted.addresses) == [101, 102]
+
+    def test_offset_preserves_length_and_pcs(self):
+        trace = Trace([1, 2], pcs=[9, 9])
+        shifted = trace.offset_addresses(10)
+        assert len(shifted) == 2
+        assert list(shifted.pcs) == [9, 9]
+
+    def test_repr_mentions_name(self):
+        assert "mytrace" in repr(Trace([1], name="mytrace"))

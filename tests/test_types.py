@@ -1,0 +1,59 @@
+"""Tests for repro.types."""
+
+import pytest
+
+from repro.types import Access, AccessResult, AccessType, block_address
+
+
+class TestAccess:
+    def test_defaults(self):
+        access = Access(address=42)
+        assert access.address == 42
+        assert access.pc == 0
+        assert access.kind is AccessType.READ
+        assert access.thread_id == 0
+
+    def test_is_frozen(self):
+        access = Access(address=1)
+        with pytest.raises(AttributeError):
+            access.address = 2
+
+    def test_equality(self):
+        assert Access(1, 2) == Access(1, 2)
+        assert Access(1) != Access(2)
+
+    def test_prefetch_kind(self):
+        access = Access(1, kind=AccessType.PREFETCH)
+        assert access.kind is AccessType.PREFETCH
+
+
+class TestAccessResult:
+    def test_hit_defaults(self):
+        result = AccessResult(hit=True)
+        assert result.hit
+        assert not result.bypassed
+        assert result.evicted is None
+
+    def test_bypass_result(self):
+        result = AccessResult(hit=False, bypassed=True)
+        assert result.bypassed
+        assert result.way == -1
+
+
+class TestBlockAddress:
+    def test_divides_by_line_size(self):
+        assert block_address(0, 64) == 0
+        assert block_address(63, 64) == 0
+        assert block_address(64, 64) == 1
+        assert block_address(12800, 64) == 200
+
+    def test_custom_line_size(self):
+        assert block_address(256, 128) == 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            block_address(100, 48)
+
+    def test_rejects_zero_line_size(self):
+        with pytest.raises(ValueError):
+            block_address(100, 0)

@@ -1,0 +1,105 @@
+"""Tests for UCP and the lookahead partitioning algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.partitioning.ucp import UCPPolicy, lookahead_partition
+from repro.types import Access
+
+
+class TestLookahead:
+    def test_total_ways_distributed(self):
+        curves = [np.array([0, 10, 15, 18, 20]), np.array([0, 5, 8, 10, 11])]
+        allocation = lookahead_partition(curves, total_ways=4)
+        assert sum(allocation) == 4
+        assert all(ways >= 1 for ways in allocation)
+
+    def test_greedy_favors_high_utility(self):
+        high = np.array([0, 100, 200, 300, 400])
+        low = np.array([0, 1, 2, 3, 4])
+        allocation = lookahead_partition([high, low], total_ways=4)
+        assert allocation[0] == 3
+        assert allocation[1] == 1
+
+    def test_lookahead_sees_past_plateau(self):
+        """The hallmark of lookahead: a convex jump after a flat region."""
+        # Thread A gains nothing for 1-2 ways but 100 hits at 3 ways.
+        plateau_then_jump = np.array([0, 0, 0, 100, 100])
+        linear = np.array([0, 10, 20, 30, 40])
+        allocation = lookahead_partition([plateau_then_jump, linear], total_ways=4)
+        # Marginal utility of 3 ways for A is 100/3 > 10/way for B.
+        assert allocation[0] == 3
+
+    def test_equal_curves_split_evenly(self):
+        curve = np.array([0, 10, 20, 30, 40, 50, 60, 70, 80])
+        allocation = lookahead_partition([curve, curve], total_ways=8)
+        assert allocation == [4, 4]
+
+    def test_min_ways_respected(self):
+        zero = np.zeros(9, dtype=np.int64)
+        useful = np.arange(9) * 10
+        allocation = lookahead_partition([zero, useful], total_ways=8)
+        assert allocation[0] >= 1
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            lookahead_partition([np.zeros(3)] * 5, total_ways=4)
+
+    def test_no_utility_spreads_remainder(self):
+        zero = np.zeros(5, dtype=np.int64)
+        allocation = lookahead_partition([zero, zero], total_ways=4)
+        assert sum(allocation) == 4
+
+
+class TestUCPPolicy:
+    def _run_two_threads(self, policy, rounds=1500, hot_blocks=12):
+        """Thread 0 reuses a working set; thread 1 streams."""
+        cache = SetAssociativeCache(CacheGeometry(8, 8), policy)
+        import random
+
+        rng = random.Random(0)
+        fresh = 10_000
+        for index in range(rounds):
+            if index % 2 == 0:
+                address = rng.randrange(hot_blocks) * 8  # set 0..., thread 0
+                cache.access(Access(address, thread_id=0))
+            else:
+                cache.access(Access(fresh * 8, thread_id=1))
+                fresh += 1
+        return cache, policy
+
+    def test_reuser_gets_more_ways(self):
+        cache, policy = self._run_two_threads(
+            UCPPolicy(num_threads=2, repartition_interval=256, num_sampled_sets=8)
+        )
+        assert policy.allocation[0] > policy.allocation[1]
+
+    def test_allocation_sums_to_ways(self):
+        cache, policy = self._run_two_threads(
+            UCPPolicy(num_threads=2, repartition_interval=256, num_sampled_sets=8)
+        )
+        assert sum(policy.allocation) == 8
+
+    def test_over_quota_thread_loses_own_lines(self):
+        policy = UCPPolicy(num_threads=2, repartition_interval=10**9)
+        cache = SetAssociativeCache(CacheGeometry(2, 4), policy)
+        policy.allocation = [2, 2]
+        # Thread 0 fills the whole set 0.
+        for i in range(4):
+            cache.access(Access(i * 2, thread_id=0))
+        # Thread 0 is over quota (4 > 2): its next miss evicts its own LRU.
+        result = cache.access(Access(8 * 2, thread_id=0))
+        assert result.evicted == 0
+
+    def test_under_quota_thread_steals(self):
+        policy = UCPPolicy(num_threads=2, repartition_interval=10**9)
+        cache = SetAssociativeCache(CacheGeometry(2, 4), policy)
+        policy.allocation = [2, 2]
+        for i in range(4):
+            cache.access(Access(i * 2, thread_id=0))
+        # Thread 1 (0 lines < quota 2) steals thread 0's LRU line.
+        result = cache.access(Access(100, thread_id=1))
+        assert result.evicted == 0
+        owners = cache.owner[0]
+        assert 1 in owners
