@@ -1,0 +1,184 @@
+"""Engine speed benchmark: batched kernel vs reference loop, parallel sweep.
+
+Standalone script (not a pytest benchmark) so CI can run it as a perf
+smoke test::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py --quick --check
+
+Measures, on a 403.gcc-like trace at the experiment geometry (64 sets x
+16 ways):
+
+- accesses/second for LRU and PDP under both engines (the headline
+  fast-vs-reference speedup; acceptance bar is >= 3x on the 500K LRU run);
+- an 8-point static-PD sweep three ways: serial with the reference
+  engine (the pre-fast-path pipeline), serial with the batched kernel,
+  and the parallel runner. On a single-CPU host the parallel runner
+  falls back to serial and only the engine speedup shows; on multicore
+  hosts the worker scaling appears on top of it.
+
+``--check`` exits non-zero if the fast engine is slower than the
+reference for any measured policy. Results land in ``BENCH_engine.json``
+at the repo root (override with ``--out``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.pdp_policy import PDPPolicy  # noqa: E402
+from repro.experiments.common import EXPERIMENT_GEOMETRY, TIMING  # noqa: E402
+from repro.policies.lru import LRUPolicy  # noqa: E402
+from repro.sim.parallel import parallel_sweep_static_pd  # noqa: E402
+from repro.sim.runner import sweep_static_pd  # noqa: E402
+from repro.sim.single_core import run_llc  # noqa: E402
+from repro.workloads.spec_like import make_benchmark_trace  # noqa: E402
+
+BENCHMARK = "403.gcc"
+PD_GRID = list(range(16, 144, 16))  # 8 sweep points
+
+
+def _timed(func, *args, **kwargs):
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _engine_pair(trace, factory, repeats: int) -> dict:
+    """Best-of-``repeats`` accesses/second for both engines."""
+    times = {"reference": float("inf"), "fast": float("inf")}
+    results = {}
+    for _ in range(repeats):
+        for engine in ("reference", "fast"):
+            result, elapsed = _timed(
+                run_llc, trace, factory(), EXPERIMENT_GEOMETRY,
+                timing=TIMING, engine=engine,
+            )
+            times[engine] = min(times[engine], elapsed)
+            results[engine] = result
+    assert (
+        results["fast"].hits == results["reference"].hits
+        and results["fast"].misses == results["reference"].misses
+    ), "engines diverged"
+    n = len(trace)
+    return {
+        "accesses": n,
+        "reference_seconds": round(times["reference"], 4),
+        "fast_seconds": round(times["fast"], 4),
+        "reference_accesses_per_sec": round(n / times["reference"]),
+        "fast_accesses_per_sec": round(n / times["fast"]),
+        "speedup": round(times["reference"] / times["fast"], 2),
+    }
+
+
+def _sweep_triple(trace, workers: int, repeats: int) -> dict:
+    """The 8-point PD sweep: serial-reference vs serial-fast vs parallel."""
+    serial_ref = serial_fast = parallel = float("inf")
+    for _ in range(repeats):
+        _, t = _timed(
+            sweep_static_pd, trace, EXPERIMENT_GEOMETRY, PD_GRID, engine="reference"
+        )
+        serial_ref = min(serial_ref, t)
+        _, t = _timed(sweep_static_pd, trace, EXPERIMENT_GEOMETRY, PD_GRID)
+        serial_fast = min(serial_fast, t)
+        _, t = _timed(
+            parallel_sweep_static_pd,
+            trace,
+            EXPERIMENT_GEOMETRY,
+            PD_GRID,
+            max_workers=workers,
+        )
+        parallel = min(parallel, t)
+    return {
+        "grid_points": len(PD_GRID),
+        "workers": workers,
+        "serial_reference_seconds": round(serial_ref, 4),
+        "serial_fast_seconds": round(serial_fast, 4),
+        "parallel_seconds": round(parallel, 4),
+        "parallel_speedup_vs_serial_reference": round(serial_ref / parallel, 2),
+        "parallel_speedup_vs_serial_fast": round(serial_fast / parallel, 2),
+    }
+
+
+def run_benchmark(length: int, repeats: int, workers: int) -> dict:
+    trace = make_benchmark_trace(
+        BENCHMARK, length=length, num_sets=EXPERIMENT_GEOMETRY.num_sets
+    )
+    report = {
+        "benchmark": BENCHMARK,
+        "geometry": "64 sets x 16 ways",
+        "trace_length": length,
+        "cpu_count": os.cpu_count(),
+        "kernels": {
+            "lru": _engine_pair(trace, LRUPolicy, repeats),
+            "pdp": _engine_pair(
+                trace, lambda: PDPPolicy(recompute_interval=8192), repeats
+            ),
+        },
+        "sweep": _sweep_triple(trace, workers, repeats),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small trace, single repeat (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if the fast engine is slower than the reference",
+    )
+    parser.add_argument(
+        "--length", type=int, default=None,
+        help="trace length (default 500000, or 50000 with --quick)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel sweep workers (default: CPU count)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default BENCH_engine.json at the repo root; "
+        "'-' skips writing)",
+    )
+    args = parser.parse_args(argv)
+
+    length = args.length or (50_000 if args.quick else 500_000)
+    repeats = 1 if args.quick else 3
+    workers = args.workers or (os.cpu_count() or 1)
+    report = run_benchmark(length, repeats, workers)
+
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.out != "-":
+        out = Path(args.out) if args.out else (
+            Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+        )
+        out.write_text(text + "\n")
+        print(f"[written to {out}]", file=sys.stderr)
+
+    if args.check:
+        slow = [
+            name
+            for name, pair in report["kernels"].items()
+            if pair["speedup"] < 1.0
+        ]
+        if slow:
+            print(f"FAIL: fast engine slower than reference for {slow}",
+                  file=sys.stderr)
+            return 1
+        print("CHECK OK: fast engine >= reference for all policies",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,10 +66,16 @@ def _cmd_run(args) -> int:
 
     config = experiment_common.experiment_config()
     trace = make_benchmark_trace(
-        args.benchmark, length=args.length, num_sets=config.num_sets, seed=args.seed
+        args.benchmark,
+        length=args.length,
+        num_sets=config.num_sets,
+        seed=args.seed,
+        cache_dir=args.trace_cache_dir,
     )
     policy = _make_policy(args.policy, config, trace)
-    result = run_llc(trace, policy, config.llc, timing=experiment_common.TIMING)
+    result = run_llc(
+        trace, policy, config.llc, timing=experiment_common.TIMING, engine=args.engine
+    )
     print(f"benchmark : {args.benchmark} ({len(trace)} accesses)")
     print(f"policy    : {args.policy}")
     print(f"hit rate  : {result.hit_rate:.4f}")
@@ -105,14 +111,22 @@ def _cmd_rdd(args) -> int:
 
 def _cmd_sweep(args) -> int:
     from repro.sim.runner import sweep_static_pd
+
     from repro.workloads.spec_like import make_benchmark_trace
 
     config = experiment_common.experiment_config()
     trace = make_benchmark_trace(
-        args.benchmark, length=args.length, num_sets=config.num_sets
+        args.benchmark,
+        length=args.length,
+        num_sets=config.num_sets,
+        cache_dir=args.trace_cache_dir,
     )
     grid = list(range(16, config.d_max + 1, args.step))
-    results = sweep_static_pd(trace, config.llc, grid, bypass=not args.no_bypass)
+    # --workers 0 = auto (env REPRO_MAX_WORKERS, else cpu count).
+    max_workers = None if args.workers == 0 else args.workers
+    results = sweep_static_pd(
+        trace, config.llc, grid, bypass=not args.no_bypass, max_workers=max_workers
+    )
     best = min(grid, key=lambda pd: results[pd].misses)
     print(f"# static PD sweep on {args.benchmark} "
           f"({'SPDP-NB' if args.no_bypass else 'SPDP-B'})")
@@ -195,6 +209,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--policy", default="pdp")
     run.add_argument("--length", type=int, default=40_000)
     run.add_argument("--seed", type=int, default=None)
+    run.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="simulation engine (reference = original per-access loop)",
+    )
+    run.add_argument(
+        "--trace-cache-dir",
+        default=None,
+        help="directory for the on-disk trace cache "
+        "(default: $REPRO_TRACE_CACHE_DIR, unset = no caching)",
+    )
     run.set_defaults(func=_cmd_run)
 
     rdd = sub.add_parser("rdd", help="print a benchmark's RDD")
@@ -208,6 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--length", type=int, default=40_000)
     sweep.add_argument("--step", type=int, default=16)
     sweep.add_argument("--no-bypass", action="store_true")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="sweep worker processes (1 = serial, 0 = auto via "
+        "$REPRO_MAX_WORKERS or CPU count)",
+    )
+    sweep.add_argument(
+        "--trace-cache-dir",
+        default=None,
+        help="directory for the on-disk trace cache "
+        "(default: $REPRO_TRACE_CACHE_DIR, unset = no caching)",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     experiment = sub.add_parser("experiment", help="run a paper figure driver")

@@ -44,9 +44,15 @@ class StaticPDPResult:
 
 
 def run_fig4(
-    benchmarks: tuple[str, ...] | None = None, fast: bool = False
+    benchmarks: tuple[str, ...] | None = None,
+    fast: bool = False,
+    max_workers: int | None = None,
 ) -> list[StaticPDPResult]:
-    """Reproduce the Fig. 4 comparison over the suite."""
+    """Reproduce the Fig. 4 comparison over the suite.
+
+    ``max_workers=None`` parallelizes the per-benchmark PD sweeps across
+    CPUs (serial on single-core hosts); pass 1 to force serial.
+    """
     from repro.experiments.common import EXPERIMENT_SUITE
 
     benchmarks = benchmarks or EXPERIMENT_SUITE
@@ -66,8 +72,12 @@ def run_fig4(
             if result.misses < best_eps_misses:
                 best_eps_misses = result.misses
                 best_epsilon = epsilon
-        nb = sweep_static_pd(trace, EXPERIMENT_GEOMETRY, grid, bypass=False)
-        b = sweep_static_pd(trace, EXPERIMENT_GEOMETRY, grid, bypass=True)
+        nb = sweep_static_pd(
+            trace, EXPERIMENT_GEOMETRY, grid, bypass=False, max_workers=max_workers
+        )
+        b = sweep_static_pd(
+            trace, EXPERIMENT_GEOMETRY, grid, bypass=True, max_workers=max_workers
+        )
         best_nb = min(nb, key=lambda pd: nb[pd].misses)
         best_b = min(b, key=lambda pd: b[pd].misses)
         results.append(

@@ -57,8 +57,11 @@ def run_fig10(
     fast: bool = False,
     include_spdp_b: bool = True,
     seeds: tuple[int | None, ...] = (None,),
+    max_workers: int | None = None,
 ) -> list[Fig10Row]:
-    """The full single-core comparison, optionally averaged over seeds."""
+    """The full single-core comparison, optionally averaged over seeds.
+
+    ``max_workers`` parallelizes the SPDP-B sweep (None = auto)."""
     from repro.experiments.common import EXPERIMENT_SUITE
 
     benchmarks = benchmarks or EXPERIMENT_SUITE
@@ -83,7 +86,13 @@ def run_fig10(
                     row.final_pd = run.extra.get("final_pd")
             if include_spdp_b:
                 grid = list(range(16, 257, 16))
-                _, best = best_static_pd(trace, EXPERIMENT_GEOMETRY, grid, bypass=True)
+                _, best = best_static_pd(
+                    trace,
+                    EXPERIMENT_GEOMETRY,
+                    grid,
+                    bypass=True,
+                    max_workers=max_workers,
+                )
                 samples.setdefault("SPDP-B", []).append(
                     (
                         miss_reduction_percent(best.misses, dip.misses),

@@ -1,6 +1,7 @@
 """Cache-hierarchy substrate: set-associative caches, hierarchy, timing."""
 
 from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.fastpath import run_hierarchy_trace, run_trace
 from repro.memory.hierarchy import CacheHierarchy, HierarchyResult
 from repro.memory.stats import CacheStats, OccupancyTracker
 from repro.memory.timing import TimingModel, TimingResult
@@ -14,4 +15,6 @@ __all__ = [
     "SetAssociativeCache",
     "TimingModel",
     "TimingResult",
+    "run_hierarchy_trace",
+    "run_trace",
 ]

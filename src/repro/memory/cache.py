@@ -87,6 +87,12 @@ class SetAssociativeCache:
         self.set_accesses = [0] * num_sets
         # Set access count at the line's last insertion/promotion.
         self._interval_start = [[0] * ways for _ in range(num_sets)]
+        # Per-set {tag: way} index of the valid lines. All mutations go
+        # through access()/invalidate_all(), which keep it coherent; it
+        # replaces the O(ways) tag scans in lookup() and access(). Lines
+        # are only invalidated wholesale, so valid ways are always the
+        # prefix [0, len(index)) and len(index) names the next free way.
+        self._tag_index: list[dict[int, int]] = [{} for _ in range(num_sets)]
         self.stats = CacheStats()
         self.observers: list = []
         policy.attach(self)
@@ -96,13 +102,7 @@ class SetAssociativeCache:
     def lookup(self, block_address: int) -> int | None:
         """Way holding ``block_address`` or None; no state change."""
         set_index = self.geometry.set_index(block_address)
-        tag = self.geometry.tag(block_address)
-        row_tags = self.tags[set_index]
-        row_valid = self.valid[set_index]
-        for way in range(self.geometry.ways):
-            if row_valid[way] and row_tags[way] == tag:
-                return way
-        return None
+        return self._tag_index[set_index].get(self.geometry.tag(block_address))
 
     def resident_addresses(self, set_index: int) -> list[int]:
         """Block addresses currently valid in ``set_index``."""
@@ -127,15 +127,9 @@ class SetAssociativeCache:
         self.set_accesses[set_index] += 1
         self.policy.on_access(set_index, access)
 
-        row_tags = self.tags[set_index]
-        row_valid = self.valid[set_index]
-        hit_way = -1
-        for way in range(geometry.ways):
-            if row_valid[way] and row_tags[way] == tag:
-                hit_way = way
-                break
-
-        if hit_way >= 0:
+        index = self._tag_index[set_index]
+        hit_way = index.get(tag)
+        if hit_way is not None:
             self.stats.hits += 1
             occupancy = self.occupancy_of(set_index, hit_way)
             self.reused[set_index][hit_way] = True
@@ -146,13 +140,11 @@ class SetAssociativeCache:
             return AccessResult(hit=True, way=hit_way)
 
         self.stats.misses += 1
-        victim_way = -1
-        for way in range(geometry.ways):
-            if not row_valid[way]:
-                victim_way = way
-                break
+        row_tags = self.tags[set_index]
         evicted_address: int | None = None
-        if victim_way < 0:
+        if len(index) < geometry.ways:
+            victim_way = len(index)  # lowest-numbered invalid way
+        else:
             chosen = self.policy.choose_victim(set_index, access)
             if chosen is None:
                 self.stats.bypasses += 1
@@ -168,21 +160,34 @@ class SetAssociativeCache:
             self.policy.on_evict(set_index, victim_way, access)
             for observer in self.observers:
                 observer.on_evict(set_index, evicted_address, occupancy, was_reused)
+            del index[row_tags[victim_way]]
 
         row_tags[victim_way] = tag
-        row_valid[victim_way] = True
+        self.valid[set_index][victim_way] = True
         self.reused[set_index][victim_way] = False
         self.owner[set_index][victim_way] = access.thread_id
         self._interval_start[set_index][victim_way] = self.set_accesses[set_index]
+        index[tag] = victim_way
         self.stats.fills += 1
         self.policy.on_fill(set_index, victim_way, access)
         for observer in self.observers:
             observer.on_fill(set_index, access.address)
         return AccessResult(hit=False, evicted=evicted_address, way=victim_way)
 
+    def run_trace(self, trace) -> None:
+        """Drive a whole :class:`repro.traces.trace.Trace` (fast path).
+
+        Batched equivalent of ``for access in trace: self.access(access)``
+        — see :mod:`repro.memory.fastpath`.
+        """
+        from repro.memory.fastpath import run_trace
+
+        run_trace(self, trace)
+
     def invalidate_all(self) -> None:
         """Drop all lines (used between experiment phases)."""
         for set_index in range(self.geometry.num_sets):
+            self._tag_index[set_index].clear()
             for way in range(self.geometry.ways):
                 self.valid[set_index][way] = False
                 self.reused[set_index][way] = False

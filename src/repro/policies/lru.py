@@ -2,7 +2,9 @@
 
 LRU is the paper's reference point: it protects a line for W unique
 accesses (the associativity) before eviction (Sec. 7). Implemented with
-per-line age stamps from a per-set logical clock.
+an explicit per-set recency list (LRU way first), which makes victim
+selection O(1) instead of an O(W) stamp scan — LRU is the baseline in
+every experiment, so its hooks sit on the hottest path of the simulator.
 """
 
 from __future__ import annotations
@@ -16,27 +18,36 @@ class LRUPolicy(ReplacementPolicy):
     """Classical LRU: evict the least recently touched line."""
 
     def _allocate(self, num_sets: int, ways: int) -> None:
-        self._stamp = [[0] * ways for _ in range(num_sets)]
-        self._clock = [0] * num_sets
+        # Recency list per set: index 0 = LRU (the victim), -1 = MRU.
+        # Ways start in index order, matching the cache's invalid-way
+        # fill order, so untouched ways are victimized lowest-way first.
+        self._order = [list(range(ways)) for _ in range(num_sets)]
 
     def _touch(self, set_index: int, way: int) -> None:
-        self._clock[set_index] += 1
-        self._stamp[set_index][way] = self._clock[set_index]
+        order = self._order[set_index]
+        if order[-1] != way:
+            order.remove(way)
+            order.append(way)
 
     def on_hit(self, set_index: int, way: int, access: Access) -> None:
-        self._touch(set_index, way)
+        # _touch inlined: on_hit/on_fill are the hot LLC path.
+        order = self._order[set_index]
+        if order[-1] != way:
+            order.remove(way)
+            order.append(way)
 
     def choose_victim(self, set_index: int, access: Access) -> int | None:
-        stamps = self._stamp[set_index]
-        return min(range(len(stamps)), key=stamps.__getitem__)
+        return self._order[set_index][0]
 
     def on_fill(self, set_index: int, way: int, access: Access) -> None:
-        self._touch(set_index, way)
+        order = self._order[set_index]
+        if order[-1] != way:
+            order.remove(way)
+            order.append(way)
 
     def recency_order(self, set_index: int) -> list[int]:
         """Ways ordered most-recently-used first (for tests/EELRU)."""
-        stamps = self._stamp[set_index]
-        return sorted(range(len(stamps)), key=lambda w: -stamps[w])
+        return self._order[set_index][::-1]
 
 
 @register_policy("mru")
@@ -44,8 +55,7 @@ class MRUPolicy(LRUPolicy):
     """Most-recently-used eviction (anti-LRU, useful for thrash loops)."""
 
     def choose_victim(self, set_index: int, access: Access) -> int | None:
-        stamps = self._stamp[set_index]
-        return max(range(len(stamps)), key=stamps.__getitem__)
+        return self._order[set_index][-1]
 
 
 __all__ = ["LRUPolicy", "MRUPolicy"]

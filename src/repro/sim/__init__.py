@@ -8,10 +8,17 @@ from repro.sim.metrics import (
     weighted_ipc,
 )
 from repro.sim.multi_core import MultiCoreResult, run_shared_llc, single_thread_baselines
+from repro.sim.parallel import (
+    parallel_compare_policies,
+    parallel_sweep_static_pd,
+    resolve_max_workers,
+    run_matrix,
+)
 from repro.sim.runner import compare_policies, sweep_static_pd
-from repro.sim.single_core import SingleCoreResult, run_hierarchy, run_llc
+from repro.sim.single_core import ENGINES, SingleCoreResult, run_hierarchy, run_llc
 
 __all__ = [
+    "ENGINES",
     "ExperimentConfig",
     "MachineConfig",
     "MultiCoreResult",
@@ -19,8 +26,12 @@ __all__ = [
     "compare_policies",
     "geometric_mean",
     "harmonic_mean_normalized_ipc",
+    "parallel_compare_policies",
+    "parallel_sweep_static_pd",
+    "resolve_max_workers",
     "run_hierarchy",
     "run_llc",
+    "run_matrix",
     "run_shared_llc",
     "single_thread_baselines",
     "sweep_static_pd",

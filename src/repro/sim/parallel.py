@@ -1,0 +1,205 @@
+"""Parallel sweep / comparison runners built on ``ProcessPoolExecutor``.
+
+The unit of work is one (trace, policy-factory) simulation. The trace is
+written to a packed ``.npz`` payload once (:meth:`Trace.save`) and workers
+load it at most once per process (a module-level memo), so a 32-point PD
+sweep ships the trace a handful of times instead of re-pickling it per
+task. Factories must be picklable — module-level callables, classes, or
+``functools.partial`` of those; lambdas and closures trigger the serial
+fallback.
+
+Worker count resolution (``resolve_max_workers``): an explicit
+``max_workers`` argument wins, then the ``REPRO_MAX_WORKERS`` environment
+variable, then ``os.cpu_count()``. A resolved count of 1 — or any failure
+to stand up the pool (unpicklable payloads, sandboxed environments
+without process support) — falls back to running serially in-process, so
+these entry points are always safe to call.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import tempfile
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from pathlib import Path
+
+from repro.core.pdp_policy import PDPPolicy
+from repro.memory.cache import CacheGeometry
+from repro.memory.timing import TimingModel
+from repro.sim.single_core import SingleCoreResult, run_llc
+from repro.traces.trace import Trace
+
+#: Environment variable overriding the default worker count.
+ENV_MAX_WORKERS = "REPRO_MAX_WORKERS"
+
+#: Per-worker-process memo of loaded trace payloads (path -> Trace).
+_WORKER_TRACES: dict[str, Trace] = {}
+
+
+def resolve_max_workers(max_workers: int | None = None) -> int:
+    """Effective worker count: argument, else $REPRO_MAX_WORKERS, else
+    ``os.cpu_count()``; always at least 1 (1 means run serially)."""
+    if max_workers is None:
+        env = os.environ.get(ENV_MAX_WORKERS, "").strip()
+        if env:
+            try:
+                max_workers = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"${ENV_MAX_WORKERS} must be an integer, got {env!r}"
+                ) from None
+        else:
+            max_workers = os.cpu_count() or 1
+    return max(1, int(max_workers))
+
+
+def _pool_context():
+    """Fork where available (cheap, inherits the interpreter); the
+    default start method elsewhere."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def _load_packed_trace(path: str) -> Trace:
+    trace = _WORKER_TRACES.get(path)
+    if trace is None:
+        trace = Trace.load(path)
+        _WORKER_TRACES[path] = trace
+    return trace
+
+
+def _run_packed_task(
+    trace_path: str,
+    key,
+    factory: Callable[[], object],
+    geometry: CacheGeometry,
+    timing: TimingModel | None,
+    engine: str,
+):
+    """Worker entry: one simulation against the shared packed trace."""
+    trace = _load_packed_trace(trace_path)
+    return key, run_llc(trace, factory(), geometry, timing=timing, engine=engine)
+
+
+def _run_serial(trace, factories, geometry, timing, engine):
+    return {
+        key: run_llc(trace, factory(), geometry, timing=timing, engine=engine)
+        for key, factory in factories.items()
+    }
+
+
+def run_matrix(
+    trace: Trace,
+    factories: dict,
+    geometry: CacheGeometry,
+    timing: TimingModel | None = None,
+    max_workers: int | None = None,
+    engine: str = "fast",
+) -> dict:
+    """Run a trace x policy-factory matrix, in parallel when possible.
+
+    Args:
+        trace: the access stream every task simulates.
+        factories: {key: zero-arg policy factory}; keys are preserved in
+            the result dict, insertion order retained.
+        geometry / timing / engine: forwarded to :func:`run_llc`.
+        max_workers: worker processes; None resolves via
+            :func:`resolve_max_workers`, 0/1 forces serial.
+
+    Returns:
+        {key: SingleCoreResult} for every entry in ``factories``.
+    """
+    workers = resolve_max_workers(max_workers)
+    items = list(factories.items())
+    if workers <= 1 or len(items) <= 1:
+        return _run_serial(trace, factories, geometry, timing, engine)
+    try:
+        pickle.dumps([factory for _, factory in items])
+    except Exception:
+        return _run_serial(trace, factories, geometry, timing, engine)
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-trace-") as payload_dir:
+            trace_path = str(Path(payload_dir) / "trace.npz")
+            trace.save(trace_path)
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(items)), mp_context=_pool_context()
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _run_packed_task,
+                        trace_path,
+                        key,
+                        factory,
+                        geometry,
+                        timing,
+                        engine,
+                    )
+                    for key, factory in items
+                ]
+                resolved = dict(future.result() for future in futures)
+    except (OSError, RuntimeError, PermissionError):
+        # No usable process pool (restricted sandbox, missing /dev/shm,
+        # exhausted pids, ...): run the matrix in-process instead.
+        return _run_serial(trace, factories, geometry, timing, engine)
+    return {key: resolved[key] for key, _ in items}
+
+
+def parallel_sweep_static_pd(
+    trace: Trace,
+    geometry: CacheGeometry,
+    pds: Iterable[int],
+    bypass: bool = True,
+    n_c: int = 8,
+    timing: TimingModel | None = None,
+    max_workers: int | None = None,
+    engine: str = "fast",
+) -> dict[int, SingleCoreResult]:
+    """Parallel counterpart of :func:`repro.sim.runner.sweep_static_pd`."""
+    factories = {
+        pd: partial(PDPPolicy, static_pd=pd, bypass=bypass, n_c=n_c) for pd in pds
+    }
+    return run_matrix(
+        trace,
+        factories,
+        geometry,
+        timing=timing,
+        max_workers=max_workers,
+        engine=engine,
+    )
+
+
+def parallel_compare_policies(
+    trace: Trace,
+    factories: dict[str, Callable[[], object]],
+    geometry: CacheGeometry,
+    timing: TimingModel | None = None,
+    max_workers: int | None = None,
+    engine: str = "fast",
+) -> dict[str, SingleCoreResult]:
+    """Parallel counterpart of :func:`repro.sim.runner.compare_policies`.
+
+    Unpicklable factories (lambdas/closures) degrade gracefully to the
+    serial path.
+    """
+    return run_matrix(
+        trace,
+        factories,
+        geometry,
+        timing=timing,
+        max_workers=max_workers,
+        engine=engine,
+    )
+
+
+__all__ = [
+    "ENV_MAX_WORKERS",
+    "parallel_compare_policies",
+    "parallel_sweep_static_pd",
+    "resolve_max_workers",
+    "run_matrix",
+]

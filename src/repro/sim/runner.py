@@ -18,12 +18,32 @@ def sweep_static_pd(
     bypass: bool = True,
     n_c: int = 8,
     timing: TimingModel | None = None,
+    max_workers: int | None = 1,
+    engine: str = "fast",
 ) -> dict[int, SingleCoreResult]:
-    """Run static PDP (SPDP) for each candidate PD (Sec. 2.3)."""
+    """Run static PDP (SPDP) for each candidate PD (Sec. 2.3).
+
+    ``max_workers=1`` (the default) runs serially in-process; any other
+    value — including None for auto — delegates to
+    :func:`repro.sim.parallel.parallel_sweep_static_pd`.
+    """
+    if max_workers != 1:
+        from repro.sim.parallel import parallel_sweep_static_pd
+
+        return parallel_sweep_static_pd(
+            trace,
+            geometry,
+            pds,
+            bypass=bypass,
+            n_c=n_c,
+            timing=timing,
+            max_workers=max_workers,
+            engine=engine,
+        )
     results: dict[int, SingleCoreResult] = {}
     for pd in pds:
         policy = PDPPolicy(static_pd=pd, bypass=bypass, n_c=n_c)
-        results[pd] = run_llc(trace, policy, geometry, timing=timing)
+        results[pd] = run_llc(trace, policy, geometry, timing=timing, engine=engine)
     return results
 
 
@@ -34,9 +54,18 @@ def best_static_pd(
     bypass: bool = True,
     n_c: int = 8,
     timing: TimingModel | None = None,
+    max_workers: int | None = 1,
 ) -> tuple[int, SingleCoreResult]:
     """The PD minimizing misses over a sweep, with its result."""
-    results = sweep_static_pd(trace, geometry, pds, bypass=bypass, n_c=n_c, timing=timing)
+    results = sweep_static_pd(
+        trace,
+        geometry,
+        pds,
+        bypass=bypass,
+        n_c=n_c,
+        timing=timing,
+        max_workers=max_workers,
+    )
     pd = min(results, key=lambda candidate: results[candidate].misses)
     return pd, results[pd]
 
@@ -46,10 +75,26 @@ def compare_policies(
     factories: dict[str, Callable[[], object]],
     geometry: CacheGeometry,
     timing: TimingModel | None = None,
+    max_workers: int | None = 1,
+    engine: str = "fast",
 ) -> dict[str, SingleCoreResult]:
-    """Run one trace under several policies (fresh instance per run)."""
+    """Run one trace under several policies (fresh instance per run).
+
+    See :func:`sweep_static_pd` for the ``max_workers`` contract.
+    """
+    if max_workers != 1:
+        from repro.sim.parallel import parallel_compare_policies
+
+        return parallel_compare_policies(
+            trace,
+            factories,
+            geometry,
+            timing=timing,
+            max_workers=max_workers,
+            engine=engine,
+        )
     return {
-        name: run_llc(trace, factory(), geometry, timing=timing)
+        name: run_llc(trace, factory(), geometry, timing=timing, engine=engine)
         for name, factory in factories.items()
     }
 

@@ -11,10 +11,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.fastpath import run_hierarchy_trace, run_trace
 from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.stats import OccupancyTracker
 from repro.memory.timing import TimingModel
 from repro.traces.trace import Trace
+
+#: Engine modes accepted by the drivers: "fast" (batched kernel, the
+#: default) and "reference" (the original per-Access loop, kept for
+#: equivalence testing — see tests/test_fastpath.py).
+ENGINES = ("fast", "reference")
+
+
+def _check_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
 
 
 @dataclass(slots=True)
@@ -52,6 +63,7 @@ def run_llc(
     timing: TimingModel | None = None,
     track_occupancy: bool = False,
     occupancy_threshold: int = 16,
+    engine: str = "fast",
 ) -> SingleCoreResult:
     """Drive ``trace`` into an LLC governed by ``policy``.
 
@@ -61,15 +73,21 @@ def run_llc(
         geometry: LLC shape.
         timing: IPC model; defaults to :class:`TimingModel` defaults.
         track_occupancy: attach an occupancy tracker (Fig. 5a data).
+        engine: "fast" (batched kernel) or "reference" (per-Access loop);
+            both produce identical results.
     """
+    _check_engine(engine)
     timing = timing or TimingModel()
     cache = SetAssociativeCache(geometry, policy)
     tracker = None
     if track_occupancy:
         tracker = OccupancyTracker(short_threshold=occupancy_threshold)
         cache.observers.append(tracker)
-    for access in trace:
-        cache.access(access)
+    if engine == "fast":
+        run_trace(cache, trace)
+    else:
+        for access in trace:
+            cache.access(access)
     stats = cache.stats
     instructions = trace.instruction_count
     ipc = timing.ipc(
@@ -104,10 +122,12 @@ def run_hierarchy(
     llc_policy,
     machine=None,
     timing: TimingModel | None = None,
+    engine: str = "fast",
 ) -> SingleCoreResult:
     """Drive ``trace`` through L1 -> L2 -> LLC (Table 1 defaults)."""
     from repro.sim.config import MachineConfig
 
+    _check_engine(engine)
     machine = machine or MachineConfig()
     timing = timing or machine.timing()
     hierarchy = CacheHierarchy(
@@ -116,7 +136,10 @@ def run_hierarchy(
         l2_geometry=machine.l2,
         llc_geometry=machine.llc,
     )
-    hierarchy.run(iter(trace))
+    if engine == "fast":
+        run_hierarchy_trace(hierarchy, trace)
+    else:
+        hierarchy.run(iter(trace))
     result = hierarchy.result
     instructions = trace.instruction_count
     ipc = timing.ipc(
@@ -137,4 +160,4 @@ def run_hierarchy(
     )
 
 
-__all__ = ["SingleCoreResult", "run_hierarchy", "run_llc"]
+__all__ = ["ENGINES", "SingleCoreResult", "run_hierarchy", "run_llc"]

@@ -14,6 +14,20 @@ import numpy as np
 from repro.types import Access, AccessType
 
 
+def _as_int64_column(values: Iterable[int]) -> np.ndarray:
+    """Coerce a trace column to a 1-D int64 array.
+
+    ndarrays (and anything else numpy can consume directly, e.g. lists)
+    convert without an intermediate Python list; only true one-shot
+    iterables (generators) are materialized first.
+    """
+    if isinstance(values, np.ndarray):
+        return np.asarray(values, dtype=np.int64)
+    if not isinstance(values, (list, tuple, range)):
+        values = list(values)
+    return np.asarray(values, dtype=np.int64)
+
+
 class Trace:
     """Ordered sequence of memory accesses.
 
@@ -29,16 +43,16 @@ class Trace:
         name: str = "trace",
         instructions_per_access: float = 1.0,
     ) -> None:
-        self.addresses = np.asarray(list(addresses), dtype=np.int64)
+        self.addresses = _as_int64_column(addresses)
         n = len(self.addresses)
         if pcs is None:
             self.pcs = np.zeros(n, dtype=np.int64)
         else:
-            self.pcs = np.asarray(list(pcs), dtype=np.int64)
+            self.pcs = _as_int64_column(pcs)
         if thread_ids is None:
             self.thread_ids = np.zeros(n, dtype=np.int64)
         else:
-            self.thread_ids = np.asarray(list(thread_ids), dtype=np.int64)
+            self.thread_ids = _as_int64_column(thread_ids)
         if len(self.pcs) != n or len(self.thread_ids) != n:
             raise ValueError("addresses, pcs and thread_ids must have equal length")
         self.name = name
@@ -110,6 +124,20 @@ class Trace:
         shifted.name = self.name
         shifted.instructions_per_access = self.instructions_per_access
         return shifted
+
+    def save(self, path) -> None:
+        """Write this trace to ``path`` as a compressed ``.npz`` archive
+        (the packed payload format the parallel runner ships to workers)."""
+        from repro.traces.io import save_trace
+
+        save_trace(self, path)
+
+    @classmethod
+    def load(cls, path) -> Trace:
+        """Read a trace previously written by :meth:`save`."""
+        from repro.traces.io import load_trace
+
+        return load_trace(path)
 
     def __repr__(self) -> str:
         return f"Trace(name={self.name!r}, accesses={len(self)})"

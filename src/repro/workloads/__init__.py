@@ -7,9 +7,16 @@ from repro.workloads.mixes import (
     interleave_traces,
     make_mix_traces,
 )
+from repro.workloads.cache import (
+    ENV_TRACE_CACHE_DIR,
+    cached_trace,
+    trace_cache_dir,
+    trace_cache_key,
+)
 from repro.workloads.phased import PhasedWorkload, phase_changing_profiles
 from repro.workloads.spec_like import (
     SPEC_LIKE_PROFILES,
+    TRACE_GENERATOR_VERSION,
     benchmark_names,
     make_benchmark_trace,
 )
@@ -22,13 +29,16 @@ from repro.workloads.streams import (
 from repro.workloads.synthetic import RDDProfileGenerator
 
 __all__ = [
+    "ENV_TRACE_CACHE_DIR",
     "MixtureComponent",
     "PhasedWorkload",
     "RDDProfile",
     "RDDProfileGenerator",
     "SPEC_LIKE_PROFILES",
+    "TRACE_GENERATOR_VERSION",
     "WorkloadMix",
     "benchmark_names",
+    "cached_trace",
     "cyclic_loop",
     "generate_mixes",
     "interleave_traces",
@@ -37,4 +47,6 @@ __all__ = [
     "random_working_set",
     "sequential_stream",
     "thrash_loop",
+    "trace_cache_dir",
+    "trace_cache_key",
 ]

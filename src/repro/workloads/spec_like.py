@@ -22,9 +22,16 @@ default experiment geometry (W = 16, d_max = 256):
 
 from __future__ import annotations
 
+import os
+
 from repro.traces.trace import Trace
 from repro.workloads.base import RDDProfile, band, fresh, peak
+from repro.workloads.cache import cached_trace
 from repro.workloads.synthetic import RDDProfileGenerator
+
+#: Bump when RDDProfileGenerator or any profile changes output for the
+#: same (name, length, num_sets, seed) — invalidates stale cache entries.
+TRACE_GENERATOR_VERSION = 1
 
 
 def _profile(name, components, pc_informative=True, ipa=20.0) -> RDDProfile:
@@ -162,11 +169,15 @@ def make_benchmark_trace(
     length: int = 60_000,
     num_sets: int = 64,
     seed: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
 ) -> Trace:
     """Generate the trace for a named SPEC-like profile.
 
     The seed defaults to a stable hash of the name, so repeated calls give
-    identical traces — experiments are reproducible end to end.
+    identical traces — experiments are reproducible end to end. With a
+    cache directory configured (``cache_dir`` or $REPRO_TRACE_CACHE_DIR),
+    generated traces are memoized to disk and later calls load them back
+    byte-identically instead of regenerating.
     """
     try:
         profile = SPEC_LIKE_PROFILES[name]
@@ -175,13 +186,25 @@ def make_benchmark_trace(
         raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
     if seed is None:
         seed = sum(ord(ch) * (i + 1) for i, ch in enumerate(name)) % 100_000
-    generator = RDDProfileGenerator(profile, num_sets=num_sets, seed=seed)
-    return generator.generate(length)
+
+    def produce() -> Trace:
+        generator = RDDProfileGenerator(profile, num_sets=num_sets, seed=seed)
+        return generator.generate(length)
+
+    return cached_trace(
+        "spec_like",
+        {"name": name, "length": length, "num_sets": num_sets},
+        seed,
+        produce,
+        version=TRACE_GENERATOR_VERSION,
+        directory=cache_dir,
+    )
 
 
 __all__ = [
     "SINGLE_CORE_SUITE",
     "SPEC_LIKE_PROFILES",
+    "TRACE_GENERATOR_VERSION",
     "benchmark_names",
     "make_benchmark_trace",
 ]

@@ -1,0 +1,85 @@
+"""Parallel sweep runner: worker resolution, equivalence, fallbacks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.cache import CacheGeometry
+from repro.policies.lru import LRUPolicy
+from repro.policies.rrip import DRRIPPolicy
+from repro.sim.parallel import (
+    ENV_MAX_WORKERS,
+    parallel_compare_policies,
+    parallel_sweep_static_pd,
+    resolve_max_workers,
+    run_matrix,
+)
+from repro.sim.runner import compare_policies, sweep_static_pd
+from repro.traces.trace import Trace
+
+GEOMETRY = CacheGeometry(num_sets=16, ways=16)
+PD_GRID = list(range(16, 144, 16))  # 8 points
+
+
+@pytest.fixture(scope="module")
+def trace() -> Trace:
+    rng = np.random.default_rng(5)
+    hot = rng.integers(0, 400, size=6000)
+    cold = rng.integers(400, 20_000, size=6000)
+    addresses = np.where(rng.random(6000) < 0.6, hot, cold)
+    return Trace(addresses, name="parallel-test")
+
+
+def _summaries(results):
+    return {key: (r.hits, r.misses, r.bypasses) for key, r in results.items()}
+
+
+def test_resolve_max_workers(monkeypatch):
+    monkeypatch.delenv(ENV_MAX_WORKERS, raising=False)
+    assert resolve_max_workers(4) == 4
+    assert resolve_max_workers(0) == 1
+    assert resolve_max_workers() >= 1
+    monkeypatch.setenv(ENV_MAX_WORKERS, "3")
+    assert resolve_max_workers() == 3
+    assert resolve_max_workers(2) == 2  # explicit argument beats the env
+    monkeypatch.setenv(ENV_MAX_WORKERS, "lots")
+    with pytest.raises(ValueError, match="REPRO_MAX_WORKERS"):
+        resolve_max_workers()
+
+
+def test_parallel_sweep_matches_serial(trace):
+    assert len(PD_GRID) >= 8
+    serial = sweep_static_pd(trace, GEOMETRY, PD_GRID, bypass=True)
+    parallel = parallel_sweep_static_pd(
+        trace, GEOMETRY, PD_GRID, bypass=True, max_workers=3
+    )
+    assert list(parallel) == PD_GRID  # insertion order preserved
+    assert _summaries(parallel) == _summaries(serial)
+
+
+def test_parallel_compare_matches_serial(trace):
+    factories = {"lru": LRUPolicy, "drrip": DRRIPPolicy}
+    serial = compare_policies(trace, factories, GEOMETRY)
+    parallel = parallel_compare_policies(trace, factories, GEOMETRY, max_workers=2)
+    assert _summaries(parallel) == _summaries(serial)
+
+
+def test_unpicklable_factory_falls_back_to_serial(trace):
+    factories = {"lru": lambda: LRUPolicy()}  # lambdas cannot cross processes
+    results = run_matrix(trace, factories, GEOMETRY, max_workers=2)
+    reference = compare_policies(trace, {"lru": LRUPolicy}, GEOMETRY)
+    assert _summaries(results) == _summaries(reference)
+
+
+def test_runner_delegates_to_parallel(trace):
+    serial = sweep_static_pd(trace, GEOMETRY, PD_GRID[:3])
+    delegated = sweep_static_pd(trace, GEOMETRY, PD_GRID[:3], max_workers=2)
+    assert _summaries(delegated) == _summaries(serial)
+
+
+def test_engines_agree_through_matrix(trace):
+    factories = {"lru": LRUPolicy}
+    fast = run_matrix(trace, factories, GEOMETRY, max_workers=1, engine="fast")
+    ref = run_matrix(trace, factories, GEOMETRY, max_workers=1, engine="reference")
+    assert _summaries(fast) == _summaries(ref)
