@@ -164,8 +164,15 @@ def _cmd_experiment(args) -> int:
     if args.name == "fig12":
         from repro.experiments import fig12_partitioning
 
+        # --workers 0 = auto (env REPRO_MAX_WORKERS, else cpu count).
+        max_workers = None if args.workers == 0 else args.workers
         results = {
-            cores: fig12_partitioning.run_fig12(cores, num_mixes=args.mixes)
+            cores: fig12_partitioning.run_fig12(
+                cores,
+                num_mixes=args.mixes,
+                engine=args.engine,
+                max_workers=max_workers,
+            )
             for cores in (4, 16)
         }
         print(fig12_partitioning.format_report(results))
@@ -253,6 +260,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name")
     experiment.add_argument("--fast", action="store_true")
     experiment.add_argument("--mixes", type=int, default=3)
+    experiment.add_argument(
+        "--engine",
+        choices=("fast", "reference"),
+        default="fast",
+        help="simulation engine for fig12's shared-LLC runs "
+        "(reference = original per-access loop)",
+    )
+    experiment.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="fig12 (mix x policy) worker processes (1 = serial, 0 = auto "
+        "via $REPRO_MAX_WORKERS or CPU count)",
+    )
     experiment.set_defaults(func=_cmd_experiment)
 
     sub.add_parser("overhead", help="hardware overhead report").set_defaults(

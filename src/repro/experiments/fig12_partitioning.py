@@ -10,6 +10,7 @@ fall behind.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 from repro.experiments.common import MULTICORE_SETS_PER_CORE, TIMING, format_table
 from repro.memory.cache import CacheGeometry
@@ -17,8 +18,12 @@ from repro.partitioning.pd_partition import PDPartitionPolicy
 from repro.partitioning.pipp import PIPPPolicy
 from repro.partitioning.ucp import UCPPolicy
 from repro.policies.ta_drrip import TADRRIPPolicy
-from repro.sim.multi_core import run_shared_llc, single_thread_baselines
+from repro.sim.multi_core import single_thread_baselines
+from repro.sim.parallel import run_mix_matrix
 from repro.workloads.mixes import generate_mixes, make_mix_traces
+
+#: Key under which the TA-DRRIP normalization baseline runs in the grid.
+BASELINE = "TA-DRRIP"
 
 
 def shared_geometry(cores: int) -> CacheGeometry:
@@ -27,11 +32,16 @@ def shared_geometry(cores: int) -> CacheGeometry:
 
 
 def partition_policies(cores: int) -> dict[str, callable]:
+    # functools.partial (not lambdas) so the factories pickle and the
+    # grid can fan out over run_mix_matrix's worker processes.
     return {
-        "UCP": lambda: UCPPolicy(num_threads=cores),
-        "PIPP": lambda: PIPPPolicy(num_threads=cores),
-        "PDP": lambda: PDPartitionPolicy(
-            num_threads=cores, recompute_interval=8192, sampler_mode="full"
+        "UCP": partial(UCPPolicy, num_threads=cores),
+        "PIPP": partial(PIPPPolicy, num_threads=cores),
+        "PDP": partial(
+            PDPartitionPolicy,
+            num_threads=cores,
+            recompute_interval=8192,
+            sampler_mode="full",
         ),
     }
 
@@ -52,35 +62,48 @@ def run_fig12(
     num_mixes: int = 4,
     length_per_thread: int | None = None,
     seed: int = 7,
+    engine: str = "fast",
+    max_workers: int | None = 1,
 ) -> list[MixResult]:
-    """Run the Fig. 12 comparison for one core count."""
+    """Run the Fig. 12 comparison for one core count.
+
+    ``max_workers=1`` (the default) runs the (mix x policy) grid serially
+    in-process; any other value — including None for auto — fans it out
+    via :func:`repro.sim.parallel.run_mix_matrix`.
+    """
     if length_per_thread is None:
         length_per_thread = 20_000 if cores <= 4 else 8_000
     geometry = shared_geometry(cores)
-    results = []
-    for mix in generate_mixes(num_mixes, cores=cores, seed=seed):
-        traces = make_mix_traces(
+    mixes = generate_mixes(num_mixes, cores=cores, seed=seed)
+    mix_traces = {
+        mix.name: make_mix_traces(
             mix, length_per_thread=length_per_thread, num_sets=geometry.num_sets
         )
-        singles = single_thread_baselines(traces, geometry, timing=TIMING)
-        baseline = run_shared_llc(
-            traces,
-            TADRRIPPolicy(num_threads=cores),
-            geometry,
-            timing=TIMING,
-            singles=singles,
-            name=mix.name,
-        )
+        for mix in mixes
+    }
+    singles = {
+        name: single_thread_baselines(traces, geometry, timing=TIMING, engine=engine)
+        for name, traces in mix_traces.items()
+    }
+    factories = {
+        BASELINE: partial(TADRRIPPolicy, num_threads=cores),
+        **partition_policies(cores),
+    }
+    grid = run_mix_matrix(
+        mix_traces,
+        factories,
+        geometry,
+        timing=TIMING,
+        singles=singles,
+        max_workers=max_workers,
+        engine=engine,
+    )
+    results = []
+    for mix in mixes:
+        baseline = grid[(mix.name, BASELINE)]
         entry = MixResult(mix_name=mix.name, benchmarks=mix.benchmarks)
-        for label, factory in partition_policies(cores).items():
-            run = run_shared_llc(
-                traces,
-                factory(),
-                geometry,
-                timing=TIMING,
-                singles=singles,
-                name=mix.name,
-            )
+        for label in partition_policies(cores):
+            run = grid[(mix.name, label)]
             entry.weighted[label] = run.weighted / baseline.weighted
             entry.throughput[label] = run.throughput / baseline.throughput
             entry.hmean[label] = run.hmean / baseline.hmean
@@ -125,6 +148,7 @@ def format_report(results_by_cores: dict[int, list[MixResult]]) -> str:
 
 
 __all__ = [
+    "BASELINE",
     "MixResult",
     "averages",
     "format_report",

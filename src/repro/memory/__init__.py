@@ -1,7 +1,7 @@
 """Cache-hierarchy substrate: set-associative caches, hierarchy, timing."""
 
 from repro.memory.cache import CacheGeometry, SetAssociativeCache
-from repro.memory.fastpath import run_hierarchy_trace, run_trace
+from repro.memory.fastpath import run_hierarchy_trace, run_shared_trace, run_trace
 from repro.memory.hierarchy import CacheHierarchy, HierarchyResult
 from repro.memory.stats import CacheStats, OccupancyTracker
 from repro.memory.timing import TimingModel, TimingResult
@@ -16,5 +16,6 @@ __all__ = [
     "TimingModel",
     "TimingResult",
     "run_hierarchy_trace",
+    "run_shared_trace",
     "run_trace",
 ]

@@ -33,8 +33,6 @@ wholesale), and at most one valid line per (set, tag).
 
 from __future__ import annotations
 
-from itertools import repeat
-
 import numpy as np
 
 from repro.memory.cache import log2_int
@@ -258,6 +256,154 @@ def run_trace(cache, trace) -> None:
     stats.fills += misses - bypasses
 
 
+def run_shared_trace(cache, trace, completion: list[int]) -> list[list[int]]:
+    """Drive an interleaved multi-thread trace through ``cache``, batched,
+    accumulating per-thread statistics with stat freezing.
+
+    The multi-core counterpart of :func:`run_trace`: semantically
+    identical to the reference loop in
+    :func:`repro.sim.multi_core.run_shared_llc` (``cache.access`` per
+    element plus per-thread counting), for a trace produced by
+    :func:`repro.workloads.mixes.interleave_traces`. ``completion[t]`` is
+    the position in the interleaved trace at which thread ``t`` finished
+    its first pass; accesses at positions ``>= completion[t]`` still hit
+    the cache (the thread keeps pressuring it after rewinding) but no
+    longer count toward thread ``t``'s statistics — the paper's
+    stat-freezing rule (Sec. 5).
+
+    Returns ``[accesses, hits, misses, bypasses]``, each a
+    per-thread list of frozen counters. Global ``cache.stats`` covers the
+    *whole* run (frozen portion included), exactly as under the
+    reference loop.
+    """
+    geometry = cache.geometry
+    num_sets = geometry.num_sets
+    set_mask = num_sets - 1
+    set_shift = log2_int(num_sets)
+    ways = geometry.ways
+    policy = cache.policy
+    on_access = _hook_or_none(policy, "on_access")
+    on_hit = policy.on_hit
+    choose_victim = policy.choose_victim
+    on_evict = _hook_or_none(policy, "on_evict")
+    on_fill = policy.on_fill
+    on_bypass = _hook_or_none(policy, "on_bypass")
+    tags = cache.tags
+    valid = cache.valid
+    reused = cache.reused
+    owner = cache.owner
+    set_accesses = cache.set_accesses
+    interval_start = cache._interval_start
+    tag_index = cache._tag_index
+    observers = cache.observers
+    occupancy = 0
+
+    num_threads = len(completion)
+    t_accesses = [0] * num_threads
+    t_hits = [0] * num_threads
+    t_misses = [0] * num_threads
+    t_bypasses = [0] * num_threads
+
+    addresses = trace.addresses.tolist()
+    n = len(addresses)
+    pcs = iter(trace.pcs.tolist())
+    tids = iter(trace.thread_ids.tolist())
+    scratch = ScratchAccess()
+    hits = bypasses = evictions = 0
+
+    # Same per-access body as run_trace's mixed-column loop (keep them in
+    # lockstep when editing), with per-thread counting at each of the
+    # three terminal outcomes. An access at ``position`` counts for its
+    # thread iff ``position < completion[tid]`` — equivalent to the
+    # reference loop's freeze-after-counting rule.
+    position = -1
+    for address, pc, tid in zip(addresses, pcs, tids):
+        position += 1
+        scratch.address = address
+        scratch.pc = pc
+        scratch.thread_id = tid
+        set_index = address & set_mask
+        tag = address >> set_shift
+        count = set_accesses[set_index] + 1
+        set_accesses[set_index] = count
+        if on_access is not None:
+            on_access(set_index, scratch)
+
+        index = tag_index[set_index]
+        way = index.get(tag)
+        if way is not None:
+            hits += 1
+            row_start = interval_start[set_index]
+            if observers:
+                occupancy = count - row_start[way]
+            reused[set_index][way] = True
+            row_start[way] = count
+            on_hit(set_index, way, scratch)
+            if observers:
+                for observer in observers:
+                    observer.on_hit(set_index, address, occupancy)
+            if position < completion[tid]:
+                t_accesses[tid] += 1
+                t_hits[tid] += 1
+            continue
+
+        row_tags = tags[set_index]
+        if len(index) < ways:
+            way = len(index)  # lowest-numbered invalid way
+            valid[set_index][way] = True
+        else:
+            way = choose_victim(set_index, scratch)
+            if way is None:
+                bypasses += 1
+                if on_bypass is not None:
+                    on_bypass(set_index, scratch)
+                if observers:
+                    for observer in observers:
+                        observer.on_bypass(set_index, address)
+                if position < completion[tid]:
+                    t_accesses[tid] += 1
+                    t_misses[tid] += 1
+                    t_bypasses[tid] += 1
+                continue
+            old_tag = row_tags[way]
+            evictions += 1
+            if observers:
+                evicted_address = old_tag * num_sets + set_index
+                occupancy = count - interval_start[set_index][way]
+                was_reused = reused[set_index][way]
+            if on_evict is not None:
+                on_evict(set_index, way, scratch)
+            if observers:
+                for observer in observers:
+                    observer.on_evict(
+                        set_index, evicted_address, occupancy, was_reused
+                    )
+            del index[old_tag]
+
+        row_tags[way] = tag
+        reused[set_index][way] = False
+        owner[set_index][way] = tid
+        interval_start[set_index][way] = count
+        index[tag] = way
+        on_fill(set_index, way, scratch)
+        if observers:
+            for observer in observers:
+                observer.on_fill(set_index, address)
+        if position < completion[tid]:
+            t_accesses[tid] += 1
+            t_misses[tid] += 1
+
+    misses = n - hits
+    stats = cache.stats
+    stats.accesses += n
+    stats.hits += hits
+    stats.misses += misses
+    stats.bypasses += bypasses
+    stats.evictions += evictions
+    stats.fills += misses - bypasses
+    return [t_accesses, t_hits, t_misses, t_bypasses]
+
+
 def run_hierarchy_trace(hierarchy, trace) -> None:
     """Drive a trace through a :class:`CacheHierarchy` without per-access
     ``Access`` allocation (the per-level caches still use their normal
@@ -281,4 +427,4 @@ def run_hierarchy_trace(hierarchy, trace) -> None:
             access(scratch)
 
 
-__all__ = ["ScratchAccess", "run_hierarchy_trace", "run_trace"]
+__all__ = ["ScratchAccess", "run_hierarchy_trace", "run_shared_trace", "run_trace"]

@@ -13,6 +13,7 @@ from repro.sim.parallel import (
     parallel_sweep_static_pd,
     resolve_max_workers,
     run_matrix,
+    run_mix_matrix,
 )
 from repro.sim.runner import compare_policies, sweep_static_pd
 from repro.sim.single_core import ENGINES, SingleCoreResult, run_hierarchy, run_llc
@@ -32,6 +33,7 @@ __all__ = [
     "run_hierarchy",
     "run_llc",
     "run_matrix",
+    "run_mix_matrix",
     "run_shared_llc",
     "single_thread_baselines",
     "sweep_static_pd",

@@ -5,6 +5,14 @@ trace rewinds and keeps running (to keep pressuring the cache), and its
 statistics freeze at first completion — exactly the paper's rules. Each
 thread's IPC is normalized against the stand-alone LRU run on the same
 shared-size LLC, the paper's baseline for W/T/H.
+
+Both drivers accept the same ``engine=`` contract as
+:func:`repro.sim.single_core.run_llc`: ``"fast"`` (the default) batches
+the whole interleaved run through
+:func:`repro.memory.fastpath.run_shared_trace`; ``"reference"`` keeps the
+original per-``Access`` loop. The two are observationally identical —
+per-thread frozen statistics and the derived W/T/H metrics match exactly
+(``tests/test_fastpath_multicore.py``).
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.fastpath import run_shared_trace
 from repro.memory.timing import TimingModel
 from repro.policies.lru import LRUPolicy
 from repro.sim.metrics import (
@@ -19,7 +28,7 @@ from repro.sim.metrics import (
     throughput,
     weighted_ipc,
 )
-from repro.sim.single_core import run_llc
+from repro.sim.single_core import _check_engine, run_llc
 from repro.traces.trace import Trace
 from repro.workloads.mixes import interleave_traces
 
@@ -58,11 +67,13 @@ def single_thread_baselines(
     traces: list[Trace],
     geometry: CacheGeometry,
     timing: TimingModel | None = None,
+    engine: str = "fast",
 ) -> list[float]:
     """Stand-alone LRU IPC of each thread on the shared-size LLC."""
     timing = timing or TimingModel()
     return [
-        run_llc(trace, LRUPolicy(), geometry, timing=timing).ipc for trace in traces
+        run_llc(trace, LRUPolicy(), geometry, timing=timing, engine=engine).ipc
+        for trace in traces
     ]
 
 
@@ -73,6 +84,7 @@ def run_shared_llc(
     timing: TimingModel | None = None,
     singles: list[float] | None = None,
     name: str = "mix",
+    engine: str = "fast",
 ) -> MultiCoreResult:
     """Run a multi-programmed mix on a shared LLC under ``policy``.
 
@@ -81,33 +93,41 @@ def run_shared_llc(
         policy: fresh thread-aware policy instance for the shared LLC.
         geometry: shared LLC shape.
         singles: stand-alone LRU IPCs (computed here when omitted).
+        engine: "fast" (batched kernel) or "reference" (per-Access loop);
+            both produce identical per-thread statistics.
     """
+    _check_engine(engine)
     timing = timing or TimingModel()
     num_threads = len(traces)
     if singles is None:
-        singles = single_thread_baselines(traces, geometry, timing)
+        singles = single_thread_baselines(traces, geometry, timing, engine=engine)
     mixed, completion = interleave_traces(traces)
     cache = SetAssociativeCache(geometry, policy)
 
-    accesses = [0] * num_threads
-    hits = [0] * num_threads
-    misses = [0] * num_threads
-    bypasses = [0] * num_threads
-    frozen = [False] * num_threads
-    for position, access in enumerate(mixed):
-        outcome = cache.access(access)
-        thread = access.thread_id
-        if frozen[thread]:
-            continue
-        accesses[thread] += 1
-        if outcome.hit:
-            hits[thread] += 1
-        else:
-            misses[thread] += 1
-            if outcome.bypassed:
-                bypasses[thread] += 1
-        if position + 1 >= completion[thread]:
-            frozen[thread] = True
+    if engine == "fast":
+        accesses, hits, misses, bypasses = run_shared_trace(
+            cache, mixed, completion
+        )
+    else:
+        accesses = [0] * num_threads
+        hits = [0] * num_threads
+        misses = [0] * num_threads
+        bypasses = [0] * num_threads
+        frozen = [False] * num_threads
+        for position, access in enumerate(mixed):
+            outcome = cache.access(access)
+            thread = access.thread_id
+            if frozen[thread]:
+                continue
+            accesses[thread] += 1
+            if outcome.hit:
+                hits[thread] += 1
+            else:
+                misses[thread] += 1
+                if outcome.bypassed:
+                    bypasses[thread] += 1
+            if position + 1 >= completion[thread]:
+                frozen[thread] = True
 
     outcomes: list[ThreadOutcome] = []
     for thread in range(num_threads):

@@ -1,9 +1,10 @@
 """Parallel sweep / comparison runners built on ``ProcessPoolExecutor``.
 
-The unit of work is one (trace, policy-factory) simulation. The trace is
-written to a packed ``.npz`` payload once (:meth:`Trace.save`) and workers
-load it at most once per process (a module-level memo), so a 32-point PD
-sweep ships the trace a handful of times instead of re-pickling it per
+The unit of work is one (trace, policy-factory) simulation — or, for the
+multi-core grid, one (mix, policy-factory) shared-LLC run. Traces are
+written to packed ``.npz`` payloads once (:meth:`Trace.save`) and workers
+load each at most once per process (a module-level memo), so a 32-point
+PD sweep ships the trace a handful of times instead of re-pickling it per
 task. Factories must be picklable — module-level callables, classes, or
 ``functools.partial`` of those; lambdas and closures trigger the serial
 fallback.
@@ -14,6 +15,14 @@ variable, then ``os.cpu_count()``. A resolved count of 1 — or any failure
 to stand up the pool (unpicklable payloads, sandboxed environments
 without process support) — falls back to running serially in-process, so
 these entry points are always safe to call.
+
+Failure semantics: only *infrastructure* failures fall back to the serial
+path — payload-directory / pool setup errors and a broken pool
+(``BrokenProcessPool``: a worker process died). An exception raised by
+the simulation itself inside a worker (a policy bug surfacing as
+``RuntimeError``, ``ValueError``, ...) propagates to the caller exactly
+as it would under the serial path; it is never silently masked by a
+serial re-run.
 """
 
 from __future__ import annotations
@@ -24,12 +33,14 @@ import pickle
 import tempfile
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from pathlib import Path
 
 from repro.core.pdp_policy import PDPPolicy
 from repro.memory.cache import CacheGeometry
 from repro.memory.timing import TimingModel
+from repro.sim.multi_core import MultiCoreResult, run_shared_llc
 from repro.sim.single_core import SingleCoreResult, run_llc
 from repro.traces.trace import Trace
 
@@ -86,6 +97,63 @@ def _run_packed_task(
     return key, run_llc(trace, factory(), geometry, timing=timing, engine=engine)
 
 
+def _run_shared_task(
+    trace_paths: list[str],
+    key,
+    factory: Callable[[], object],
+    geometry: CacheGeometry,
+    timing: TimingModel | None,
+    singles: list[float] | None,
+    name: str,
+    engine: str,
+):
+    """Worker entry: one shared-LLC mix run against packed thread traces."""
+    traces = [_load_packed_trace(path) for path in trace_paths]
+    return key, run_shared_llc(
+        traces,
+        factory(),
+        geometry,
+        timing=timing,
+        singles=singles,
+        name=name,
+        engine=engine,
+    )
+
+
+def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback) -> dict:
+    """Fan ``worker_fn`` tasks over a process pool; dict of its returns.
+
+    ``write_payloads(payload_dir)`` persists shared payloads and returns
+    one argument tuple per task. Infrastructure failures (payload dir /
+    pool setup, a broken pool) invoke ``serial_fallback``; exceptions
+    raised *by a task* propagate to the caller.
+    """
+    try:
+        payload_dir = tempfile.TemporaryDirectory(prefix="repro-trace-")
+    except (OSError, PermissionError):
+        return serial_fallback()
+    try:
+        try:
+            tasks = write_payloads(Path(payload_dir.name))
+            pool = ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            )
+        except (OSError, RuntimeError, PermissionError):
+            # No usable payload dir or process pool (restricted sandbox,
+            # missing /dev/shm, exhausted pids, ...): run in-process.
+            return serial_fallback()
+        with pool:
+            futures = [pool.submit(worker_fn, *task) for task in tasks]
+            try:
+                return dict(future.result() for future in futures)
+            except BrokenProcessPool:
+                # A worker *process* died (OOM-kill, sandbox teardown) —
+                # infrastructure, not a simulation error: retry serially.
+                return serial_fallback()
+    finally:
+        payload_dir.cleanup()
+
+
 def _run_serial(trace, factories, geometry, timing, engine):
     return {
         key: run_llc(trace, factory(), geometry, timing=timing, engine=engine)
@@ -113,40 +181,129 @@ def run_matrix(
 
     Returns:
         {key: SingleCoreResult} for every entry in ``factories``.
+
+    Raises:
+        Whatever a simulation task raises (see the module docstring);
+        only infrastructure failures fall back to the serial path.
     """
     workers = resolve_max_workers(max_workers)
     items = list(factories.items())
+    serial = partial(_run_serial, trace, factories, geometry, timing, engine)
     if workers <= 1 or len(items) <= 1:
-        return _run_serial(trace, factories, geometry, timing, engine)
+        return serial()
     try:
         pickle.dumps([factory for _, factory in items])
     except Exception:
-        return _run_serial(trace, factories, geometry, timing, engine)
-    try:
-        with tempfile.TemporaryDirectory(prefix="repro-trace-") as payload_dir:
-            trace_path = str(Path(payload_dir) / "trace.npz")
-            trace.save(trace_path)
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(items)), mp_context=_pool_context()
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _run_packed_task,
-                        trace_path,
-                        key,
-                        factory,
-                        geometry,
-                        timing,
-                        engine,
-                    )
-                    for key, factory in items
-                ]
-                resolved = dict(future.result() for future in futures)
-    except (OSError, RuntimeError, PermissionError):
-        # No usable process pool (restricted sandbox, missing /dev/shm,
-        # exhausted pids, ...): run the matrix in-process instead.
-        return _run_serial(trace, factories, geometry, timing, engine)
+        return serial()
+
+    def write_payloads(payload_dir: Path) -> list[tuple]:
+        trace_path = str(payload_dir / "trace.npz")
+        trace.save(trace_path)
+        return [
+            (trace_path, key, factory, geometry, timing, engine)
+            for key, factory in items
+        ]
+
+    resolved = _run_pooled(
+        _run_packed_task, min(workers, len(items)), write_payloads, serial
+    )
     return {key: resolved[key] for key, _ in items}
+
+
+def _run_mixes_serial(mixes, factories, geometry, timing, singles, engine):
+    return {
+        (mix_key, policy_key): run_shared_llc(
+            traces,
+            factory(),
+            geometry,
+            timing=timing,
+            singles=None if singles is None else singles[mix_key],
+            name=mix_key,
+            engine=engine,
+        )
+        for mix_key, traces in mixes.items()
+        for policy_key, factory in factories.items()
+    }
+
+
+def run_mix_matrix(
+    mixes: dict[str, list[Trace]],
+    factories: dict[str, Callable[[], object]],
+    geometry: CacheGeometry,
+    timing: TimingModel | None = None,
+    singles: dict[str, list[float]] | None = None,
+    max_workers: int | None = None,
+    engine: str = "fast",
+) -> dict[tuple[str, str], MultiCoreResult]:
+    """Run a (mix x policy-factory) grid of shared-LLC runs in parallel.
+
+    The multi-core counterpart of :func:`run_matrix`: each task is one
+    :func:`repro.sim.multi_core.run_shared_llc` call. Per-thread traces
+    are written once per mix as packed ``.npz`` payloads and memoized per
+    worker process, so an 80-mix x 4-policy Fig. 12 grid ships each trace
+    a handful of times rather than 4x80 times.
+
+    Args:
+        mixes: {mix_key: per-thread traces} (private address spaces, as
+            fed to ``run_shared_llc``).
+        factories: {policy_key: zero-arg factory for a fresh shared-LLC
+            policy}; must be picklable for the parallel path.
+        singles: optional {mix_key: stand-alone LRU IPCs}. When omitted
+            every task recomputes its mix's baselines — pass precomputed
+            values (``single_thread_baselines`` once per mix) to avoid
+            the duplicate work.
+        max_workers: worker processes; None resolves via
+            :func:`resolve_max_workers`, 0/1 forces serial.
+
+    Returns:
+        {(mix_key, policy_key): MultiCoreResult} for the full grid, in
+        mixes-major insertion order.
+
+    Raises:
+        Whatever a simulation task raises (see the module docstring);
+        only infrastructure failures fall back to the serial path.
+    """
+    if singles is not None and set(singles) != set(mixes):
+        raise ValueError("singles must provide baselines for exactly the mixes")
+    workers = resolve_max_workers(max_workers)
+    grid = [(mix_key, policy_key) for mix_key in mixes for policy_key in factories]
+    serial = partial(
+        _run_mixes_serial, mixes, factories, geometry, timing, singles, engine
+    )
+    if workers <= 1 or len(grid) <= 1:
+        return serial()
+    try:
+        pickle.dumps(list(factories.values()))
+    except Exception:
+        return serial()
+
+    def write_payloads(payload_dir: Path) -> list[tuple]:
+        mix_paths: dict[str, list[str]] = {}
+        for slot, (mix_key, traces) in enumerate(mixes.items()):
+            paths = []
+            for thread, trace in enumerate(traces):
+                path = str(payload_dir / f"mix{slot}-t{thread}.npz")
+                trace.save(path)
+                paths.append(path)
+            mix_paths[mix_key] = paths
+        return [
+            (
+                mix_paths[mix_key],
+                (mix_key, policy_key),
+                factories[policy_key],
+                geometry,
+                timing,
+                None if singles is None else singles[mix_key],
+                mix_key,
+                engine,
+            )
+            for mix_key, policy_key in grid
+        ]
+
+    resolved = _run_pooled(
+        _run_shared_task, min(workers, len(grid)), write_payloads, serial
+    )
+    return {key: resolved[key] for key in grid}
 
 
 def parallel_sweep_static_pd(
@@ -202,4 +359,5 @@ __all__ = [
     "parallel_sweep_static_pd",
     "resolve_max_workers",
     "run_matrix",
+    "run_mix_matrix",
 ]

@@ -99,10 +99,12 @@ def run_llc(
     extra: dict = {}
     if tracker is not None:
         extra["occupancy"] = tracker.breakdown
-    engine = getattr(policy, "engine", None)
-    if engine is not None:
-        extra["pd_history"] = list(engine.pd_history)
-        extra["final_pd"] = engine.current_pd
+    # NB: named pd_engine, not engine — reusing the name would clobber
+    # the engine-mode parameter (tests/test_fastpath.py pins this).
+    pd_engine = getattr(policy, "engine", None)
+    if pd_engine is not None:
+        extra["pd_history"] = list(pd_engine.pd_history)
+        extra["final_pd"] = pd_engine.current_pd
     if hasattr(policy, "current_pd"):
         extra["current_pd"] = policy.current_pd
     return SingleCoreResult(

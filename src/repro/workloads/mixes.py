@@ -96,12 +96,20 @@ def interleave_traces(
     for thread in range(num_threads):
         if completion[thread] < 0:
             completion[thread] = total_length
-    mixed = Trace.__new__(Trace)
-    mixed.addresses = addresses
-    mixed.pcs = pcs
-    mixed.thread_ids = thread_ids
-    mixed.name = "+".join(trace.name for trace in traces)
-    mixed.instructions_per_access = traces[0].instructions_per_access
+    # The mixed trace's aggregate instructions-per-access is the mean of
+    # the per-thread values: round-robin gives every thread an equal share
+    # of the interleave, so the unweighted mean IS the access-weighted
+    # mean. It is a whole-mix diagnostic only — ``run_shared_llc`` applies
+    # each thread's own IPA when converting frozen access counts to
+    # instructions, so heterogeneous mixes stay correct per thread.
+    mean_ipa = sum(trace.instructions_per_access for trace in traces) / num_threads
+    mixed = Trace(
+        addresses,
+        pcs=pcs,
+        thread_ids=thread_ids,
+        name="+".join(trace.name for trace in traces),
+        instructions_per_access=mean_ipa,
+    )
     return mixed, completion
 
 

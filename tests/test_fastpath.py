@@ -145,6 +145,31 @@ def test_run_llc_defaults_to_fast_engine():
         run_llc(trace, make_policy("lru"), GEOMETRY, engine="warp")
 
 
+def test_engine_mode_not_shadowed_by_policy_attribute():
+    """Regression: run_llc's body once rebound the name ``engine`` to the
+    policy's PD engine object, clobbering the engine-mode string. The
+    mode parameter must stay intact through the whole body (so future
+    code after the extras block can still rely on it), and the PD extras
+    must still be collected."""
+    import inspect
+
+    from repro.sim import single_core
+
+    trace = _mixed_trace(n=3000)
+    result = run_llc(
+        trace, PDPPolicy(recompute_interval=1024), GEOMETRY, engine="reference"
+    )
+    assert "pd_history" in result.extra and "final_pd" in result.extra
+    # Cheap lint rule: the parameter name must never be reassigned.
+    source = inspect.getsource(single_core.run_llc)
+    assert not any(
+        line.strip().startswith("engine =") for line in source.splitlines()
+    )
+    # And ENGINES validation still fires for bad modes.
+    with pytest.raises(ValueError, match="engine"):
+        run_llc(trace, PDPPolicy(), GEOMETRY, engine="bogus")
+
+
 def test_run_hierarchy_engines_agree():
     from repro.sim.single_core import run_hierarchy
 

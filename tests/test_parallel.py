@@ -2,24 +2,35 @@
 
 from __future__ import annotations
 
+from functools import partial
+
 import numpy as np
 import pytest
 
 from repro.memory.cache import CacheGeometry
 from repro.policies.lru import LRUPolicy
 from repro.policies.rrip import DRRIPPolicy
+from repro.policies.ta_drrip import TADRRIPPolicy
 from repro.sim.parallel import (
     ENV_MAX_WORKERS,
     parallel_compare_policies,
     parallel_sweep_static_pd,
     resolve_max_workers,
     run_matrix,
+    run_mix_matrix,
 )
 from repro.sim.runner import compare_policies, sweep_static_pd
 from repro.traces.trace import Trace
 
 GEOMETRY = CacheGeometry(num_sets=16, ways=16)
 PD_GRID = list(range(16, 144, 16))  # 8 points
+
+
+class ExplodingPolicy(LRUPolicy):
+    """Raises from inside the simulation — a stand-in for a policy bug."""
+
+    def on_fill(self, set_index, way, access):
+        raise RuntimeError("policy exploded")
 
 
 @pytest.fixture(scope="module")
@@ -83,3 +94,81 @@ def test_engines_agree_through_matrix(trace):
     fast = run_matrix(trace, factories, GEOMETRY, max_workers=1, engine="fast")
     ref = run_matrix(trace, factories, GEOMETRY, max_workers=1, engine="reference")
     assert _summaries(fast) == _summaries(ref)
+
+
+@pytest.mark.parametrize("max_workers", [1, 2])
+def test_worker_simulation_error_propagates(trace, max_workers):
+    """Regression: a genuine simulation error raised inside a worker must
+    surface to the caller — not be swallowed by a silent serial re-run
+    (which would both mask the bug and double the runtime)."""
+    factories = {"boom": ExplodingPolicy, "lru": LRUPolicy}
+    with pytest.raises(RuntimeError, match="policy exploded"):
+        run_matrix(trace, factories, GEOMETRY, max_workers=max_workers)
+
+
+def _mixes() -> dict[str, list[Trace]]:
+    def thread_trace(seed: int, n: int) -> Trace:
+        rng = np.random.default_rng(seed)
+        hot = rng.integers(0, 100, size=n)
+        cold = rng.integers(100, 4000, size=n)
+        addresses = np.where(rng.random(n) < 0.5, hot, cold)
+        return Trace(addresses, name=f"t{seed}")
+
+    return {
+        "mix0": [thread_trace(1, 900), thread_trace(2, 700)],
+        "mix1": [thread_trace(3, 800), thread_trace(4, 800)],
+    }
+
+
+def _mix_summaries(results):
+    return {
+        key: (
+            [(t.accesses, t.hits, t.misses, t.bypasses) for t in r.threads],
+            r.weighted,
+            r.throughput,
+            r.hmean,
+        )
+        for key, r in results.items()
+    }
+
+
+def test_run_mix_matrix_parallel_matches_serial():
+    mixes = _mixes()
+    factories = {
+        "lru": LRUPolicy,
+        "ta-drrip": partial(TADRRIPPolicy, num_threads=2),
+    }
+    serial = run_mix_matrix(mixes, factories, GEOMETRY, max_workers=1)
+    parallel = run_mix_matrix(mixes, factories, GEOMETRY, max_workers=2)
+    assert list(parallel) == [
+        (mix, policy) for mix in mixes for policy in factories
+    ]
+    assert _mix_summaries(parallel) == _mix_summaries(serial)
+
+
+def test_run_mix_matrix_precomputed_singles():
+    mixes = _mixes()
+    singles = {"mix0": [1.0, 1.0], "mix1": [1.0, 1.0]}
+    results = run_mix_matrix(
+        mixes, {"lru": LRUPolicy}, GEOMETRY, singles=singles, max_workers=2
+    )
+    assert all(r.extra["singles"] == [1.0, 1.0] for r in results.values())
+    with pytest.raises(ValueError, match="singles"):
+        run_mix_matrix(
+            mixes, {"lru": LRUPolicy}, GEOMETRY, singles={"mix0": [1.0, 1.0]}
+        )
+
+
+def test_run_mix_matrix_unpicklable_falls_back_to_serial():
+    mixes = _mixes()
+    lambdas = {"lru": lambda: LRUPolicy()}  # lambdas cannot cross processes
+    results = run_mix_matrix(mixes, lambdas, GEOMETRY, max_workers=2)
+    reference = run_mix_matrix(mixes, {"lru": LRUPolicy}, GEOMETRY, max_workers=1)
+    assert _mix_summaries(results) == _mix_summaries(reference)
+
+
+@pytest.mark.parametrize("max_workers", [1, 2])
+def test_run_mix_matrix_worker_error_propagates(max_workers):
+    factories = {"boom": ExplodingPolicy}
+    with pytest.raises(RuntimeError, match="policy exploded"):
+        run_mix_matrix(_mixes(), factories, GEOMETRY, max_workers=max_workers)
