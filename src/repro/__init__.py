@@ -34,6 +34,14 @@ from repro.core import (
     find_best_pd,
     find_pd_vector,
 )
+from repro.obs import (
+    TELEMETRY,
+    Manifest,
+    ProgressReporter,
+    Telemetry,
+    load_manifests,
+    summarize_manifests,
+)
 from repro.memory import (
     CacheGeometry,
     CacheHierarchy,
@@ -84,6 +92,7 @@ __all__ = [
     "HitRateModel",
     "LRUPolicy",
     "MachineConfig",
+    "Manifest",
     "MulticoreHitRateModel",
     "OccupancyTracker",
     "PDEngine",
@@ -91,6 +100,7 @@ __all__ = [
     "PDPartitionPolicy",
     "PIPPPolicy",
     "PrefetchAwarePDPPolicy",
+    "ProgressReporter",
     "RDCounterArray",
     "RDDProfileGenerator",
     "RDSampler",
@@ -98,6 +108,8 @@ __all__ = [
     "SetAssociativeCache",
     "StreamPrefetcher",
     "TADRRIPPolicy",
+    "TELEMETRY",
+    "Telemetry",
     "TimingModel",
     "Trace",
     "UCPPolicy",
@@ -105,10 +117,12 @@ __all__ = [
     "find_best_pd",
     "find_pd_vector",
     "generate_mixes",
+    "load_manifests",
     "make_benchmark_trace",
     "make_policy",
     "reuse_distance_distribution",
     "run_hierarchy",
     "run_llc",
     "run_shared_llc",
+    "summarize_manifests",
 ]

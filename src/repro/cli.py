@@ -9,6 +9,13 @@ Commands:
 - ``sweep`` — static-PD sweep (the Fig. 4 per-benchmark curve).
 - ``experiment`` — run one of the paper's figure/table drivers.
 - ``overhead`` — the hardware overhead report.
+- ``obs summarize`` — rebuild a result table from a manifest directory.
+
+Observability: ``run``, ``sweep`` and ``experiment`` accept
+``--manifest-dir`` (defaulting to ``$REPRO_MANIFEST_DIR`` when set) to
+write per-run provenance manifests, and ``sweep`` / ``experiment``
+accept ``--progress`` to stream started/finished/failed task events to
+stderr. See :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -17,6 +24,24 @@ import argparse
 import sys
 
 from repro.experiments import common as experiment_common
+
+
+def _manifest_dir(args):
+    """The run's manifest directory: --manifest-dir, else the
+    $REPRO_MANIFEST_DIR environment default, else None (disabled)."""
+    from repro.obs.manifest import resolve_manifest_dir
+
+    path = resolve_manifest_dir(getattr(args, "manifest_dir", None))
+    return str(path) if path is not None else None
+
+
+def _progress_callback(args, label: str):
+    """A stderr progress printer when --progress was given, else None."""
+    if not getattr(args, "progress", False):
+        return None
+    from repro.obs.progress import console_reporter
+
+    return console_reporter(label=label)
 
 
 def _cmd_list_benchmarks(args) -> int:
@@ -74,7 +99,14 @@ def _cmd_run(args) -> int:
     )
     policy = _make_policy(args.policy, config, trace)
     result = run_llc(
-        trace, policy, config.llc, timing=experiment_common.TIMING, engine=args.engine
+        trace,
+        policy,
+        config.llc,
+        timing=experiment_common.TIMING,
+        engine=args.engine,
+        manifest_dir=_manifest_dir(args),
+        run_label=args.policy,
+        run_meta={"seed": args.seed} if args.seed is not None else None,
     )
     print(f"benchmark : {args.benchmark} ({len(trace)} accesses)")
     print(f"policy    : {args.policy}")
@@ -125,7 +157,13 @@ def _cmd_sweep(args) -> int:
     # --workers 0 = auto (env REPRO_MAX_WORKERS, else cpu count).
     max_workers = None if args.workers == 0 else args.workers
     results = sweep_static_pd(
-        trace, config.llc, grid, bypass=not args.no_bypass, max_workers=max_workers
+        trace,
+        config.llc,
+        grid,
+        bypass=not args.no_bypass,
+        max_workers=max_workers,
+        manifest_dir=_manifest_dir(args),
+        on_event=_progress_callback(args, "sweep"),
     )
     best = min(grid, key=lambda pd: results[pd].misses)
     print(f"# static PD sweep on {args.benchmark} "
@@ -164,18 +202,38 @@ def _cmd_experiment(args) -> int:
     if args.name == "fig12":
         from repro.experiments import fig12_partitioning
 
-        # --workers 0 = auto (env REPRO_MAX_WORKERS, else cpu count).
-        max_workers = None if args.workers == 0 else args.workers
+        # --workers 0 = auto (env REPRO_MAX_WORKERS, else cpu count);
+        # unset keeps fig12's historical serial default.
+        if args.workers is None:
+            max_workers = 1
+        else:
+            max_workers = None if args.workers == 0 else args.workers
         results = {
             cores: fig12_partitioning.run_fig12(
                 cores,
                 num_mixes=args.mixes,
                 engine=args.engine,
                 max_workers=max_workers,
+                manifest_dir=_manifest_dir(args),
+                on_event=_progress_callback(args, f"fig12-{cores}core"),
             )
             for cores in (4, 16)
         }
         print(fig12_partitioning.format_report(results))
+        return 0
+    if args.name in ("fig4", "fig10"):
+        # These drivers take the full observability contract (per-cell
+        # manifests + progress events) and a worker count (unset / 0 =
+        # auto, their historical default).
+        module_name, run_name, fmt_name = _EXPERIMENTS[args.name]
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        results = getattr(module, run_name)(
+            fast=args.fast,
+            max_workers=None if args.workers in (None, 0) else args.workers,
+            manifest_dir=_manifest_dir(args),
+            on_event=_progress_callback(args, args.name),
+        )
+        print(getattr(module, fmt_name)(results))
         return 0
     if args.name == "prefetch":
         from repro.experiments import prefetch_study
@@ -199,6 +257,26 @@ def _cmd_overhead(args) -> int:
 
     print(overhead_report.format_report(overhead_report.run_overhead()))
     return 0
+
+
+def _cmd_obs(args) -> int:
+    from repro.obs.manifest import load_manifests, summarize_manifests
+
+    manifests = load_manifests(args.directory)
+    if not manifests:
+        print(f"no manifests found in {args.directory}", file=sys.stderr)
+        return 1
+    print(summarize_manifests(manifests))
+    return 0
+
+
+def _add_manifest_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--manifest-dir",
+        default=None,
+        help="write per-run provenance manifests into this directory "
+        "(default: $REPRO_MANIFEST_DIR, unset = disabled)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -228,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the on-disk trace cache "
         "(default: $REPRO_TRACE_CACHE_DIR, unset = no caching)",
     )
+    _add_manifest_dir(run)
     run.set_defaults(func=_cmd_run)
 
     rdd = sub.add_parser("rdd", help="print a benchmark's RDD")
@@ -254,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the on-disk trace cache "
         "(default: $REPRO_TRACE_CACHE_DIR, unset = no caching)",
     )
+    _add_manifest_dir(sweep)
+    sweep.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-task progress events (with ETA) to stderr",
+    )
     sweep.set_defaults(func=_cmd_sweep)
 
     experiment = sub.add_parser("experiment", help="run a paper figure driver")
@@ -270,22 +355,47 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--workers",
         type=int,
-        default=1,
-        help="fig12 (mix x policy) worker processes (1 = serial, 0 = auto "
-        "via $REPRO_MAX_WORKERS or CPU count)",
+        default=None,
+        help="worker processes for the parallel drivers (fig4/fig10/fig12). "
+        "0 = auto via $REPRO_MAX_WORKERS or CPU count; unset keeps each "
+        "driver's default (fig12 serial, fig4/fig10 auto)",
+    )
+    _add_manifest_dir(experiment)
+    experiment.add_argument(
+        "--progress",
+        action="store_true",
+        help="print per-cell progress events (with ETA) to stderr "
+        "(fig4/fig10/fig12)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 
     sub.add_parser("overhead", help="hardware overhead report").set_defaults(
         func=_cmd_overhead
     )
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    summarize = obs_sub.add_parser(
+        "summarize",
+        help="rebuild a result table from a directory of run manifests",
+    )
+    summarize.add_argument("directory", help="manifest directory to read")
+    summarize.set_defaults(func=_cmd_obs)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — a normal way to end.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -47,11 +47,16 @@ def run_fig4(
     benchmarks: tuple[str, ...] | None = None,
     fast: bool = False,
     max_workers: int | None = None,
+    manifest_dir: str | None = None,
+    on_event=None,
 ) -> list[StaticPDPResult]:
     """Reproduce the Fig. 4 comparison over the suite.
 
     ``max_workers=None`` parallelizes the per-benchmark PD sweeps across
     CPUs (serial on single-core hosts); pass 1 to force serial.
+    ``manifest_dir`` / ``on_event`` are forwarded to the underlying
+    static-PD sweeps (per-PD manifests plus a sweep manifest per
+    (benchmark, bypass-mode); progress events keyed by PD).
     """
     from repro.experiments.common import EXPERIMENT_SUITE
 
@@ -73,10 +78,22 @@ def run_fig4(
                 best_eps_misses = result.misses
                 best_epsilon = epsilon
         nb = sweep_static_pd(
-            trace, EXPERIMENT_GEOMETRY, grid, bypass=False, max_workers=max_workers
+            trace,
+            EXPERIMENT_GEOMETRY,
+            grid,
+            bypass=False,
+            max_workers=max_workers,
+            manifest_dir=manifest_dir,
+            on_event=on_event,
         )
         b = sweep_static_pd(
-            trace, EXPERIMENT_GEOMETRY, grid, bypass=True, max_workers=max_workers
+            trace,
+            EXPERIMENT_GEOMETRY,
+            grid,
+            bypass=True,
+            max_workers=max_workers,
+            manifest_dir=manifest_dir,
+            on_event=on_event,
         )
         best_nb = min(nb, key=lambda pd: nb[pd].misses)
         best_b = min(b, key=lambda pd: b[pd].misses)

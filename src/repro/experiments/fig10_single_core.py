@@ -11,6 +11,7 @@ PC-informative profiles and losing on PC-misleading ones.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.core.pdp_policy import PDPPolicy
 from repro.experiments.common import (
@@ -20,13 +21,14 @@ from repro.experiments.common import (
     default_trace,
     format_table,
 )
+from repro.obs.progress import ProgressReporter
 from repro.policies.eelru import EELRUPolicy
 from repro.policies.lip_bip_dip import DIPPolicy
 from repro.policies.rrip import DRRIPPolicy
 from repro.policies.sdp import SDPPolicy
 from repro.sim.metrics import miss_reduction_percent, percent_change
 from repro.sim.runner import best_static_pd
-from repro.sim.single_core import run_llc
+from repro.sim.single_core import emit_run_manifest, run_llc
 
 
 def policy_factories() -> dict[str, callable]:
@@ -58,23 +60,64 @@ def run_fig10(
     include_spdp_b: bool = True,
     seeds: tuple[int | None, ...] = (None,),
     max_workers: int | None = None,
+    manifest_dir: str | None = None,
+    on_event=None,
 ) -> list[Fig10Row]:
     """The full single-core comparison, optionally averaged over seeds.
 
-    ``max_workers`` parallelizes the SPDP-B sweep (None = auto)."""
+    ``max_workers`` parallelizes the SPDP-B sweep (None = auto).
+    ``manifest_dir`` writes one provenance manifest per (policy,
+    benchmark) cell — including the DIP baseline and the derived SPDP-B
+    column — into the directory; ``on_event`` receives per-cell
+    started/finished progress events (see :mod:`repro.obs.progress`).
+    """
     from repro.experiments.common import EXPERIMENT_SUITE
 
     benchmarks = benchmarks or EXPERIMENT_SUITE
+    series_labels = list(policy_factories())
+    cells_per_trace = 1 + len(series_labels) + (1 if include_spdp_b else 0)
+    reporter = ProgressReporter(
+        len(benchmarks) * len(seeds) * cells_per_trace,
+        on_event=on_event,
+        label="fig10",
+    )
+
+    def cell_key(name: str, label: str, seed) -> str:
+        return f"{name}/{label}" if seed is None else f"{name}/{label}@seed{seed}"
+
     rows = []
     for name in benchmarks:
         row = Fig10Row(name=name)
         samples: dict[str, list[tuple[float, float, float]]] = {}
         for seed in seeds:
             trace = default_trace(name, fast=fast, seed=seed)
-            dip = run_llc(trace, DIPPolicy(), EXPERIMENT_GEOMETRY, timing=TIMING)
+            meta = {"seed": seed} if seed is not None else None
+            key = cell_key(name, "DIP", seed)
+            reporter.started(key)
+            dip = run_llc(
+                trace,
+                DIPPolicy(),
+                EXPERIMENT_GEOMETRY,
+                timing=TIMING,
+                manifest_dir=manifest_dir,
+                run_label="DIP",
+                run_meta=meta,
+            )
+            reporter.finished(key)
             series = dict(policy_factories())
             for label, factory in series.items():
-                run = run_llc(trace, factory(), EXPERIMENT_GEOMETRY, timing=TIMING)
+                key = cell_key(name, label, seed)
+                reporter.started(key)
+                run = run_llc(
+                    trace,
+                    factory(),
+                    EXPERIMENT_GEOMETRY,
+                    timing=TIMING,
+                    manifest_dir=manifest_dir,
+                    run_label=label,
+                    run_meta=meta,
+                )
+                reporter.finished(key)
                 samples.setdefault(label, []).append(
                     (
                         miss_reduction_percent(run.misses, dip.misses),
@@ -86,13 +129,32 @@ def run_fig10(
                     row.final_pd = run.extra.get("final_pd")
             if include_spdp_b:
                 grid = list(range(16, 257, 16))
-                _, best = best_static_pd(
+                key = cell_key(name, "SPDP-B", seed)
+                reporter.started(key)
+                sweep_start = perf_counter()
+                pd, best = best_static_pd(
                     trace,
                     EXPERIMENT_GEOMETRY,
                     grid,
                     bypass=True,
                     max_workers=max_workers,
                 )
+                if manifest_dir is not None:
+                    # The sweep's per-PD runs are internal; record only
+                    # the winning point as this benchmark's SPDP-B cell.
+                    emit_run_manifest(
+                        manifest_dir,
+                        "llc",
+                        trace,
+                        f"SPDP-B(pd={pd})",
+                        EXPERIMENT_GEOMETRY,
+                        "fast",
+                        best,
+                        perf_counter() - sweep_start,
+                        run_label="SPDP-B",
+                        run_meta=meta,
+                    )
+                reporter.finished(key)
                 samples.setdefault("SPDP-B", []).append(
                     (
                         miss_reduction_percent(best.misses, dip.misses),

@@ -64,12 +64,16 @@ def run_fig12(
     seed: int = 7,
     engine: str = "fast",
     max_workers: int | None = 1,
+    manifest_dir: str | None = None,
+    on_event=None,
 ) -> list[MixResult]:
     """Run the Fig. 12 comparison for one core count.
 
     ``max_workers=1`` (the default) runs the (mix x policy) grid serially
     in-process; any other value — including None for auto — fans it out
-    via :func:`repro.sim.parallel.run_mix_matrix`.
+    via :func:`repro.sim.parallel.run_mix_matrix`. ``manifest_dir`` /
+    ``on_event`` follow the :func:`run_mix_matrix` observability
+    contract (one manifest per (mix, policy) cell plus a grid manifest).
     """
     if length_per_thread is None:
         length_per_thread = 20_000 if cores <= 4 else 8_000
@@ -97,6 +101,8 @@ def run_fig12(
         singles=singles,
         max_workers=max_workers,
         engine=engine,
+        manifest_dir=manifest_dir,
+        on_event=on_event,
     )
     results = []
     for mix in mixes:

@@ -33,9 +33,12 @@ wholesale), and at most one valid line per (set, tag).
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.memory.cache import log2_int
+from repro.obs.telemetry import TELEMETRY
 from repro.policies.base import ReplacementPolicy
 from repro.types import AccessType
 
@@ -76,7 +79,14 @@ def _hook_or_none(policy, name: str):
 
 
 def run_trace(cache, trace) -> None:
-    """Drive every access of ``trace`` through ``cache``, batched."""
+    """Drive every access of ``trace`` through ``cache``, batched.
+
+    Telemetry: when the process-wide sink is enabled this records one
+    ``fastpath.run_trace`` timer entry and a ``fastpath.accesses``
+    counter per call — the check is per *run*, so the disabled mode adds
+    no per-access work (the 2%-overhead budget of BENCH_engine.json).
+    """
+    telemetry_start = perf_counter() if TELEMETRY.enabled else 0.0
     geometry = cache.geometry
     num_sets = geometry.num_sets
     set_mask = num_sets - 1
@@ -254,6 +264,9 @@ def run_trace(cache, trace) -> None:
     stats.bypasses += bypasses
     stats.evictions += evictions
     stats.fills += misses - bypasses
+    if TELEMETRY.enabled:
+        TELEMETRY.record("fastpath.run_trace", perf_counter() - telemetry_start)
+        TELEMETRY.count("fastpath.accesses", n)
 
 
 def run_shared_trace(cache, trace, completion: list[int]) -> list[list[int]]:
@@ -274,8 +287,10 @@ def run_shared_trace(cache, trace, completion: list[int]) -> list[list[int]]:
     Returns ``[accesses, hits, misses, bypasses]``, each a
     per-thread list of frozen counters. Global ``cache.stats`` covers the
     *whole* run (frozen portion included), exactly as under the
-    reference loop.
+    reference loop. Telemetry follows the :func:`run_trace` contract
+    (one ``fastpath.run_shared_trace`` timer entry per call).
     """
+    telemetry_start = perf_counter() if TELEMETRY.enabled else 0.0
     geometry = cache.geometry
     num_sets = geometry.num_sets
     set_mask = num_sets - 1
@@ -401,6 +416,11 @@ def run_shared_trace(cache, trace, completion: list[int]) -> list[list[int]]:
     stats.bypasses += bypasses
     stats.evictions += evictions
     stats.fills += misses - bypasses
+    if TELEMETRY.enabled:
+        TELEMETRY.record(
+            "fastpath.run_shared_trace", perf_counter() - telemetry_start
+        )
+        TELEMETRY.count("fastpath.accesses", n)
     return [t_accesses, t_hits, t_misses, t_bypasses]
 
 

@@ -1,0 +1,76 @@
+"""Observability for experiment runs: telemetry, manifests, progress.
+
+The ``repro.obs`` package makes a sweep auditable while it runs and
+reproducible after it finishes:
+
+- :mod:`repro.obs.telemetry` — named counters and wall-time spans with a
+  near-zero-overhead disabled mode, safe to leave in hot kernels.
+- :mod:`repro.obs.manifest` — per-run JSON provenance records (config,
+  policy, engine, seed, trace fingerprint, git SHA, timing, statistics,
+  failures), written atomically and round-trippable via
+  :meth:`Manifest.load`.
+- :mod:`repro.obs.progress` — started/finished/failed events with ETA
+  for grid runs, delivered to an ``on_event`` callback.
+- :mod:`repro.obs.trace_log` — append-only JSONL event log persisted
+  next to the manifests.
+
+The simulation entry points (``run_llc``, ``run_hierarchy``,
+``run_shared_llc``, ``run_matrix``, ``run_mix_matrix``) accept
+``manifest_dir=`` to emit manifests and — for the grid runners —
+``on_event=`` for progress; ``python -m repro obs summarize <dir>``
+rebuilds the result table from manifests alone.
+"""
+
+from repro.obs.manifest import (
+    ENV_MANIFEST_DIR,
+    MANIFEST_SCHEMA_VERSION,
+    Manifest,
+    TaskFailure,
+    git_sha,
+    load_manifests,
+    new_run_id,
+    resolve_manifest_dir,
+    summarize_exception,
+    summarize_manifests,
+    trace_fingerprint,
+)
+from repro.obs.progress import (
+    ProgressEvent,
+    ProgressReporter,
+    console_reporter,
+    print_event,
+)
+from repro.obs.telemetry import (
+    ENV_TELEMETRY,
+    TELEMETRY,
+    Telemetry,
+    get_telemetry,
+    set_enabled,
+)
+from repro.obs.trace_log import EVENTS_FILENAME, TraceLog, read_events
+
+__all__ = [
+    "ENV_MANIFEST_DIR",
+    "ENV_TELEMETRY",
+    "EVENTS_FILENAME",
+    "MANIFEST_SCHEMA_VERSION",
+    "Manifest",
+    "ProgressEvent",
+    "ProgressReporter",
+    "TELEMETRY",
+    "TaskFailure",
+    "Telemetry",
+    "TraceLog",
+    "console_reporter",
+    "get_telemetry",
+    "git_sha",
+    "load_manifests",
+    "new_run_id",
+    "print_event",
+    "read_events",
+    "resolve_manifest_dir",
+    "set_enabled",
+    "summarize_exception",
+    "summarize_manifests",
+    "trace_fingerprint",
+]

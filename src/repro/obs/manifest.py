@@ -1,0 +1,346 @@
+"""Run manifests: structured provenance records for simulation runs.
+
+A :class:`Manifest` captures everything needed to trust (and re-run) one
+simulation: what was simulated (workload name + trace fingerprint), how
+(policy, engine, cache geometry, seed), in which code state (git SHA),
+what came out (counters and derived metrics), and where the time went
+(wall time, accesses/second, an optional telemetry snapshot). Sweep-level
+manifests additionally record per-task status — including failed tasks
+with a traceback summary — so a partially failed grid is diagnosable
+after the fact.
+
+Manifests are plain JSON documents written atomically (temp file +
+``os.replace``) into a per-run directory, one file per run, named by the
+run id. They round-trip exactly: ``Manifest.load(manifest.save(dir))``
+compares equal to the original (``tests/test_obs.py``). All field values
+are JSON-native (str/int/float/bool/None/dict/list), which is what makes
+the round trip lossless.
+
+:func:`summarize_manifests` aggregates a directory of manifests back
+into the comparison table the run produced them from — the CLI command
+``python -m repro obs summarize <dir>`` is a thin wrapper around it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import tempfile
+import traceback
+import uuid
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from functools import lru_cache
+from pathlib import Path
+
+#: Manifest schema version; bump on incompatible layout changes.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Environment variable naming a default manifest directory for the CLI.
+ENV_MANIFEST_DIR = "REPRO_MANIFEST_DIR"
+
+
+def new_run_id() -> str:
+    """A unique, sortable run id: UTC timestamp plus random suffix."""
+    stamp = datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%S")
+    return f"{stamp}-{uuid.uuid4().hex[:8]}"
+
+
+def utc_now_iso() -> str:
+    """The current UTC time in ISO-8601 (second precision)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@lru_cache(maxsize=1)
+def git_sha() -> str | None:
+    """The repository HEAD SHA, or None when git is unavailable.
+
+    Cached per process — workers of a parallel sweep pay the subprocess
+    cost at most once each.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def trace_fingerprint(trace) -> str:
+    """A stable content hash of a :class:`repro.traces.trace.Trace`.
+
+    Hashes the three columnar arrays plus the name and the
+    instructions-per-access dilution, so two traces fingerprint equal iff
+    a simulation cannot tell them apart.
+    """
+    digest = hashlib.sha256()
+    digest.update(trace.addresses.tobytes())
+    digest.update(trace.pcs.tobytes())
+    digest.update(trace.thread_ids.tobytes())
+    digest.update(trace.name.encode("utf-8"))
+    digest.update(repr(trace.instructions_per_access).encode("utf-8"))
+    return digest.hexdigest()[:24]
+
+
+def resolve_manifest_dir(directory: str | os.PathLike | None = None) -> Path | None:
+    """Resolve a manifest directory: argument, else ``$REPRO_MANIFEST_DIR``,
+    else None (manifests disabled).
+
+    Only the CLI layer applies the environment default; library entry
+    points emit manifests solely when ``manifest_dir`` is passed
+    explicitly, so nested helper runs never write surprise manifests.
+    """
+    if directory is not None:
+        return Path(directory)
+    env = os.environ.get(ENV_MANIFEST_DIR, "").strip()
+    return Path(env) if env else None
+
+
+def summarize_exception(exc: BaseException, limit: int = 3) -> str:
+    """A short one-blob traceback summary for manifest failure records."""
+    lines = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    tail = "".join(lines[-limit:]).strip()
+    head = f"{type(exc).__name__}: {exc}"
+    return head if head in tail else f"{head}\n{tail}"
+
+
+@dataclass
+class TaskFailure:
+    """One failed task of a sweep/grid run, kept diagnosable post hoc."""
+
+    key: str
+    policy: str
+    workload: str
+    error_type: str
+    message: str
+    traceback_summary: str
+
+    @classmethod
+    def from_exception(
+        cls, key, exc: BaseException, policy: str = "", workload: str = ""
+    ) -> "TaskFailure":
+        """Build a failure record from a raised exception."""
+        return cls(
+            key=str(key),
+            policy=policy,
+            workload=workload,
+            error_type=type(exc).__name__,
+            message=str(exc),
+            traceback_summary=summarize_exception(exc),
+        )
+
+
+@dataclass
+class Manifest:
+    """Provenance record of one simulation run (or one sweep of runs).
+
+    ``kind`` names the entry point that produced it: ``"llc"``,
+    ``"hierarchy"``, ``"shared_llc"``, ``"matrix"`` or ``"mix_matrix"``.
+    Single-run manifests carry counters in ``stats`` and derived numbers
+    (hit rate, MPKI, IPC, or W/T/H) in ``metrics``; sweep manifests carry
+    the task list in ``tasks`` and any :class:`TaskFailure` records in
+    ``failures``. All values are JSON-native so ``save`` → ``load``
+    round-trips to an equal object.
+    """
+
+    kind: str
+    workload: str
+    policy: str
+    engine: str = "fast"
+    label: str | None = None
+    seed: int | None = None
+    config: dict = field(default_factory=dict)
+    trace_fingerprint: str | None = None
+    git_sha: str | None = None
+    created_at: str = field(default_factory=utc_now_iso)
+    wall_time_s: float = 0.0
+    accesses: int = 0
+    accesses_per_sec: float = 0.0
+    stats: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    telemetry: dict = field(default_factory=dict)
+    tasks: list = field(default_factory=list)
+    failures: list = field(default_factory=list)
+    extra: dict = field(default_factory=dict)
+    run_id: str = field(default_factory=new_run_id)
+    schema_version: int = MANIFEST_SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        """The JSON-ready dictionary form (``failures`` become dicts)."""
+        data = asdict(self)
+        data["failures"] = [
+            asdict(f) if isinstance(f, TaskFailure) else dict(f)
+            for f in self.failures
+        ]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Manifest":
+        """Rebuild a manifest from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["failures"] = [
+            TaskFailure(**f) for f in payload.get("failures", [])
+        ]
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = {k: v for k, v in payload.items() if k not in known}
+        if unknown:
+            # Forward-compatible: keep fields from newer schemas visible.
+            payload = {k: v for k, v in payload.items() if k in known}
+            payload.setdefault("extra", {}).update({"_unknown": unknown})
+        return cls(**payload)
+
+    def save(self, directory: str | os.PathLike) -> Path:
+        """Atomically write ``<directory>/<run_id>.json``; returns the path.
+
+        Uses temp-file + ``os.replace`` so concurrent sweep workers can
+        share one manifest directory without readers ever observing a
+        partial document.
+        """
+        root = Path(directory)
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"{self.run_id}.json"
+        payload = json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        handle, temp_path = tempfile.mkstemp(dir=root, suffix=".json.tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Manifest":
+        """Read one manifest previously written by :meth:`save`."""
+        with open(path, encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def load_manifests(directory: str | os.PathLike) -> list[Manifest]:
+    """Load every ``*.json`` manifest under ``directory``, sorted by
+    (created_at, run_id); unparseable files are skipped."""
+    root = Path(directory)
+    manifests = []
+    for path in sorted(root.glob("*.json")):
+        try:
+            manifests.append(Manifest.load(path))
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+    manifests.sort(key=lambda m: (m.created_at, m.run_id))
+    return manifests
+
+
+def _format_metric(value) -> str:
+    """Render one metric cell (floats at fixed precision)."""
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def _table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Minimal aligned text table (obs stays import-light — no
+    dependency on the experiments package)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [title] if title else []
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+    )
+    return "\n".join(lines)
+
+
+def summarize_manifests(manifests: list[Manifest]) -> str:
+    """Render a directory of manifests as an aligned comparison table.
+
+    Single-run manifests become one row each (workload x policy cell);
+    sweep-level manifests contribute a trailing status section listing
+    task counts and any recorded failures.
+    """
+    rows = []
+    sweeps = []
+    for manifest in manifests:
+        if manifest.tasks or manifest.kind in ("matrix", "mix_matrix"):
+            sweeps.append(manifest)
+            continue
+        metrics = manifest.metrics
+        rows.append(
+            [
+                manifest.workload,
+                manifest.label or manifest.policy,
+                manifest.engine,
+                str(manifest.accesses),
+                _format_metric(metrics.get("hit_rate", manifest.stats.get("hit_rate", ""))),
+                _format_metric(metrics.get("mpki", "")),
+                _format_metric(metrics.get("ipc", metrics.get("weighted", ""))),
+                f"{manifest.accesses_per_sec:,.0f}",
+                f"{manifest.wall_time_s:.3f}",
+            ]
+        )
+    sections = []
+    if rows:
+        sections.append(
+            _table(
+                [
+                    "workload",
+                    "policy",
+                    "engine",
+                    "accesses",
+                    "hit_rate",
+                    "mpki",
+                    "ipc",
+                    "acc/s",
+                    "wall_s",
+                ],
+                rows,
+                title=f"obs summarize — {len(rows)} runs",
+            )
+        )
+    for sweep in sweeps:
+        done = sum(1 for t in sweep.tasks if t.get("status") == "finished")
+        failed = [t for t in sweep.tasks if t.get("status") == "failed"]
+        lines = [
+            f"sweep {sweep.run_id} ({sweep.kind}, {sweep.workload}): "
+            f"{done}/{len(sweep.tasks)} tasks finished, {len(failed)} failed, "
+            f"wall {sweep.wall_time_s:.3f}s"
+        ]
+        for failure in sweep.failures:
+            lines.append(
+                f"  FAILED {failure.key} [{failure.policy or '?'} on "
+                f"{failure.workload or '?'}]: {failure.error_type}: {failure.message}"
+            )
+        sections.append("\n".join(lines))
+    if not sections:
+        return "no manifests found"
+    return "\n\n".join(sections)
+
+
+__all__ = [
+    "ENV_MANIFEST_DIR",
+    "MANIFEST_SCHEMA_VERSION",
+    "Manifest",
+    "TaskFailure",
+    "git_sha",
+    "load_manifests",
+    "new_run_id",
+    "resolve_manifest_dir",
+    "summarize_exception",
+    "summarize_manifests",
+    "trace_fingerprint",
+    "utc_now_iso",
+]

@@ -1,0 +1,154 @@
+"""Lightweight counters and timer spans for the simulation stack.
+
+A :class:`Telemetry` instance accumulates named counters and wall-time
+spans. The design goal is *near-zero overhead when disabled*: every
+recording entry point starts with one ``self.enabled`` test, and
+:meth:`Telemetry.span` returns a preallocated no-op singleton — no
+object is allocated and no dictionary is touched on the disabled path
+(``tests/test_obs.py`` pins both properties). Hot kernels therefore
+check ``TELEMETRY.enabled`` once per *run*, never per access (see
+``repro.memory.fastpath``).
+
+The module-level :data:`TELEMETRY` instance is the default sink the
+simulation stack records into; it starts disabled unless the
+``REPRO_TELEMETRY`` environment variable is set to a non-empty value.
+Enable it programmatically with ``TELEMETRY.enable()`` (or
+:func:`set_enabled`), run your experiment, then embed
+``TELEMETRY.snapshot()`` in a manifest or inspect it directly.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+#: Environment variable that enables the default telemetry sink at import.
+ENV_TELEMETRY = "REPRO_TELEMETRY"
+
+
+class _NullSpan:
+    """Shared no-op context manager returned by disabled spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+#: The singleton every disabled :meth:`Telemetry.span` call returns.
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager timing one named section into its telemetry sink."""
+
+    __slots__ = ("_telemetry", "_name", "_start")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self._telemetry.record(self._name, perf_counter() - self._start)
+        return False
+
+
+class Telemetry:
+    """Named counters plus named wall-time accumulators.
+
+    Counters are plain integers (``count``); timers accumulate seconds
+    and call counts (``record`` / ``span``). All recording methods are
+    no-ops while ``enabled`` is False.
+    """
+
+    __slots__ = ("enabled", "counters", "timers")
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.counters: dict[str, int] = {}
+        self.timers: dict[str, list] = {}  # name -> [calls, total_seconds]
+
+    def enable(self) -> None:
+        """Turn recording on."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn recording off (accumulated data is kept)."""
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all accumulated counters and timers."""
+        self.counters.clear()
+        self.timers.clear()
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record(self, name: str, seconds: float) -> None:
+        """Add one timed call of ``seconds`` to timer ``name``."""
+        if not self.enabled:
+            return
+        timer = self.timers.get(name)
+        if timer is None:
+            self.timers[name] = [1, seconds]
+        else:
+            timer[0] += 1
+            timer[1] += seconds
+
+    def span(self, name: str):
+        """A context manager timing its body into timer ``name``.
+
+        Returns the shared :data:`NULL_SPAN` singleton when disabled, so
+        the disabled path allocates nothing.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return _Span(self, name)
+
+    def snapshot(self) -> dict:
+        """A JSON-ready copy: ``{"counters": ..., "timers": ...}``.
+
+        Timers serialize as ``{name: {"calls": n, "total_s": seconds}}``.
+        """
+        return {
+            "counters": dict(self.counters),
+            "timers": {
+                name: {"calls": calls, "total_s": total}
+                for name, (calls, total) in self.timers.items()
+            },
+        }
+
+
+#: Default process-wide telemetry sink used by the simulation stack.
+TELEMETRY = Telemetry(enabled=bool(os.environ.get(ENV_TELEMETRY, "").strip()))
+
+
+def get_telemetry() -> Telemetry:
+    """The default process-wide :class:`Telemetry` sink."""
+    return TELEMETRY
+
+
+def set_enabled(enabled: bool) -> None:
+    """Enable or disable the default sink (see :data:`TELEMETRY`)."""
+    TELEMETRY.enabled = bool(enabled)
+
+
+__all__ = [
+    "ENV_TELEMETRY",
+    "NULL_SPAN",
+    "TELEMETRY",
+    "Telemetry",
+    "get_telemetry",
+    "set_enabled",
+]

@@ -1,0 +1,85 @@
+"""Append-only JSONL event log for experiment runs.
+
+A :class:`TraceLog` is the durable sibling of the in-memory progress
+stream: each :meth:`TraceLog.emit` call appends one JSON object (with a
+UTC timestamp and an event kind) to a ``.jsonl`` file and flushes, so a
+crashed or killed sweep still leaves a readable record of every event up
+to the failure. The parallel runners write one ``events.jsonl`` next to
+the manifests when a manifest directory is configured; read it back with
+:func:`read_events`.
+
+The format is one JSON document per line — greppable, tail-able, and
+trivially loadable into pandas or jq.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Default event-log filename inside a manifest directory.
+EVENTS_FILENAME = "events.jsonl"
+
+
+class TraceLog:
+    """Append-only JSONL writer; usable as a context manager."""
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Append one event; returns the record written.
+
+        The record is ``{"ts": <iso-utc>, "kind": kind, **fields}``;
+        field values must be JSON-serializable.
+        """
+        record = {
+            "ts": datetime.now(timezone.utc).isoformat(timespec="milliseconds"),
+            "kind": kind,
+            **fields,
+        }
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        return record
+
+    def emit_progress(self, event) -> dict:
+        """Append a :class:`repro.obs.progress.ProgressEvent`."""
+        return self.emit(
+            event.kind,
+            key=event.key,
+            done=event.done,
+            total=event.total,
+            elapsed_s=event.elapsed_s,
+            eta_s=event.eta_s,
+            error=event.error,
+        )
+
+    def close(self) -> None:
+        """Close the underlying file (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "TraceLog":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+
+def read_events(path: str | os.PathLike) -> list[dict]:
+    """Parse a JSONL event log back into dicts (blank lines skipped)."""
+    events = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+__all__ = ["EVENTS_FILENAME", "TraceLog", "read_events"]

@@ -72,10 +72,12 @@ class ExperimentConfig:
 
     @property
     def associativity(self) -> int:
+        """LLC ways (the W of the paper's formulas)."""
         return self.llc.ways
 
     @property
     def num_sets(self) -> int:
+        """LLC set count."""
         return self.llc.num_sets
 
     @classmethod

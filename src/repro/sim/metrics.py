@@ -59,6 +59,7 @@ def miss_reduction_percent(misses: float, baseline_misses: float) -> float:
 
 
 def _check(ipcs: Sequence[float], singles: Sequence[float]) -> None:
+    """Validate the per-thread IPC inputs of the W/T/H metrics."""
     if len(ipcs) != len(singles):
         raise ValueError("per-thread IPC lists must have equal length")
     if any(value <= 0 for value in singles):

@@ -17,11 +17,16 @@ per-thread frozen statistics and the derived W/T/H metrics match exactly
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.memory.cache import CacheGeometry, SetAssociativeCache
 from repro.memory.fastpath import run_shared_trace
 from repro.memory.timing import TimingModel
+from repro.obs.manifest import Manifest, trace_fingerprint
+from repro.obs.manifest import git_sha as _git_sha
+from repro.obs.telemetry import TELEMETRY
 from repro.policies.lru import LRUPolicy
 from repro.sim.metrics import (
     harmonic_mean_normalized_ipc,
@@ -46,6 +51,7 @@ class ThreadOutcome:
 
     @property
     def mpki(self) -> float:
+        """Misses per thousand instructions (frozen counters)."""
         if self.instructions <= 0:
             return 0.0
         return 1000.0 * self.misses / self.instructions
@@ -85,6 +91,9 @@ def run_shared_llc(
     singles: list[float] | None = None,
     name: str = "mix",
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    run_label: str | None = None,
+    run_meta: dict | None = None,
 ) -> MultiCoreResult:
     """Run a multi-programmed mix on a shared LLC under ``policy``.
 
@@ -95,9 +104,17 @@ def run_shared_llc(
         singles: stand-alone LRU IPCs (computed here when omitted).
         engine: "fast" (batched kernel) or "reference" (per-Access loop);
             both produce identical per-thread statistics.
+        manifest_dir: when set, write a provenance manifest (kind
+            ``"shared_llc"``) for this run — explicit only, never read
+            from the environment (see :func:`repro.sim.single_core.run_llc`).
+        run_label: display label recorded in the manifest (e.g. the
+            (mix, policy) grid key); defaults to the policy class name.
+        run_meta: extra JSON-native manifest context; a ``seed`` key is
+            lifted into the manifest's ``seed`` field.
     """
     _check_engine(engine)
     timing = timing or TimingModel()
+    start = perf_counter()
     num_threads = len(traces)
     if singles is None:
         singles = single_thread_baselines(traces, geometry, timing, engine=engine)
@@ -152,7 +169,7 @@ def run_shared_llc(
         )
 
     ipcs = [outcome.ipc for outcome in outcomes]
-    return MultiCoreResult(
+    result = MultiCoreResult(
         name=name,
         threads=outcomes,
         weighted=weighted_ipc(ipcs, singles),
@@ -160,6 +177,51 @@ def run_shared_llc(
         hmean=harmonic_mean_normalized_ipc(ipcs, singles),
         extra={"singles": singles},
     )
+    if manifest_dir is not None:
+        meta = dict(run_meta or {})
+        total_accesses = len(mixed)
+        wall = perf_counter() - start
+        Manifest(
+            kind="shared_llc",
+            workload=name,
+            policy=type(policy).__name__,
+            engine=engine,
+            label=run_label,
+            seed=meta.pop("seed", None),
+            config={
+                "num_sets": geometry.num_sets,
+                "ways": geometry.ways,
+                "line_size": geometry.line_size,
+                "threads": num_threads,
+            },
+            trace_fingerprint=trace_fingerprint(mixed),
+            git_sha=_git_sha(),
+            wall_time_s=wall,
+            accesses=total_accesses,
+            accesses_per_sec=total_accesses / wall if wall > 0 else 0.0,
+            stats={
+                "threads": [
+                    {
+                        "accesses": t.accesses,
+                        "hits": t.hits,
+                        "misses": t.misses,
+                        "bypasses": t.bypasses,
+                        "instructions": t.instructions,
+                        "ipc": t.ipc,
+                    }
+                    for t in outcomes
+                ],
+                "singles": list(singles),
+            },
+            metrics={
+                "weighted": result.weighted,
+                "throughput": result.throughput,
+                "hmean": result.hmean,
+            },
+            telemetry=TELEMETRY.snapshot() if TELEMETRY.enabled else {},
+            extra=meta,
+        ).save(manifest_dir)
+    return result
 
 
 __all__ = ["MultiCoreResult", "ThreadOutcome", "run_shared_llc", "single_thread_baselines"]

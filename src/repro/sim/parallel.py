@@ -16,13 +16,25 @@ to stand up the pool (unpicklable payloads, sandboxed environments
 without process support) — falls back to running serially in-process, so
 these entry points are always safe to call.
 
+Observability: both grid runners accept ``on_event`` (a callback fed
+started/finished/failed :class:`repro.obs.progress.ProgressEvent`
+records, emitted from the *parent* process as tasks dispatch and
+complete) and ``manifest_dir``. With a manifest directory configured,
+every cell writes its own provenance manifest (inside the worker, via
+the driver's ``manifest_dir=`` parameter), the runner appends all
+progress events to ``events.jsonl``, and a sweep-level manifest records
+per-task status — including failed tasks with policy, workload and a
+traceback summary — so a partially failed grid is diagnosable from the
+manifest directory alone.
+
 Failure semantics: only *infrastructure* failures fall back to the serial
 path — payload-directory / pool setup errors and a broken pool
 (``BrokenProcessPool``: a worker process died). An exception raised by
 the simulation itself inside a worker (a policy bug surfacing as
-``RuntimeError``, ``ValueError``, ...) propagates to the caller exactly
-as it would under the serial path; it is never silently masked by a
-serial re-run.
+``RuntimeError``, ``ValueError``, ...) propagates to the caller; it is
+never silently masked by a serial re-run. The runners let the remaining
+tasks of the grid complete (their results still land in per-cell
+manifests), record every failure, then re-raise the first one.
 """
 
 from __future__ import annotations
@@ -32,14 +44,19 @@ import os
 import pickle
 import tempfile
 from collections.abc import Callable, Iterable
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from pathlib import Path
+from time import perf_counter
 
 from repro.core.pdp_policy import PDPPolicy
 from repro.memory.cache import CacheGeometry
 from repro.memory.timing import TimingModel
+from repro.obs.manifest import Manifest, TaskFailure, trace_fingerprint
+from repro.obs.manifest import git_sha as _git_sha
+from repro.obs.progress import ProgressEvent, ProgressReporter
+from repro.obs.trace_log import EVENTS_FILENAME, TraceLog
 from repro.sim.multi_core import MultiCoreResult, run_shared_llc
 from repro.sim.single_core import SingleCoreResult, run_llc
 from repro.traces.trace import Trace
@@ -77,6 +94,7 @@ def _pool_context():
 
 
 def _load_packed_trace(path: str) -> Trace:
+    """Load (and per-process memoize) one packed trace payload."""
     trace = _WORKER_TRACES.get(path)
     if trace is None:
         trace = Trace.load(path)
@@ -91,10 +109,19 @@ def _run_packed_task(
     geometry: CacheGeometry,
     timing: TimingModel | None,
     engine: str,
+    manifest_dir: str | None,
 ):
     """Worker entry: one simulation against the shared packed trace."""
     trace = _load_packed_trace(trace_path)
-    return key, run_llc(trace, factory(), geometry, timing=timing, engine=engine)
+    return key, run_llc(
+        trace,
+        factory(),
+        geometry,
+        timing=timing,
+        engine=engine,
+        manifest_dir=manifest_dir,
+        run_label=str(key),
+    )
 
 
 def _run_shared_task(
@@ -106,6 +133,7 @@ def _run_shared_task(
     singles: list[float] | None,
     name: str,
     engine: str,
+    manifest_dir: str | None,
 ):
     """Worker entry: one shared-LLC mix run against packed thread traces."""
     traces = [_load_packed_trace(path) for path in trace_paths]
@@ -117,16 +145,113 @@ def _run_shared_task(
         singles=singles,
         name=name,
         engine=engine,
+        manifest_dir=manifest_dir,
+        run_label=str(key),
     )
 
 
-def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback) -> dict:
-    """Fan ``worker_fn`` tasks over a process pool; dict of its returns.
+class _GridObserver:
+    """Per-grid progress/event-log/failure bookkeeping.
+
+    Wraps a :class:`ProgressReporter` (teeing every event into the
+    manifest directory's ``events.jsonl`` when one is configured) and
+    accumulates per-task status plus :class:`TaskFailure` records for
+    the sweep-level manifest.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        on_event: Callable[[ProgressEvent], None] | None,
+        manifest_dir: Path | None,
+        label: str,
+        failure_context: Callable[[object], tuple[str, str]],
+    ) -> None:
+        self._log = (
+            TraceLog(manifest_dir / EVENTS_FILENAME)
+            if manifest_dir is not None
+            else None
+        )
+        self._failure_context = failure_context
+        self.statuses: dict[str, str] = {}
+        self.failures: list[TaskFailure] = []
+        self.reporter = ProgressReporter(
+            total, on_event=self._dispatch, label=label
+        )
+        self._on_event = on_event
+
+    def _dispatch(self, event: ProgressEvent) -> None:
+        """Tee one event into the JSONL log and the user callback."""
+        if self._log is not None:
+            self._log.emit_progress(event)
+        if self._on_event is not None:
+            self._on_event(event)
+
+    def started(self, key) -> None:
+        """Record and broadcast task dispatch."""
+        self.statuses[str(key)] = "started"
+        self.reporter.started(key)
+
+    def finished(self, key) -> None:
+        """Record and broadcast successful completion."""
+        self.statuses[str(key)] = "finished"
+        self.reporter.finished(key)
+
+    def failed(self, key, exc: BaseException) -> None:
+        """Record and broadcast a task failure (kept for the manifest)."""
+        self.statuses[str(key)] = "failed"
+        policy, workload = self._failure_context(key)
+        self.failures.append(
+            TaskFailure.from_exception(key, exc, policy=policy, workload=workload)
+        )
+        self.reporter.failed(key, exc)
+
+    def task_records(self) -> list[dict]:
+        """JSON-ready ``{key, status}`` rows for the sweep manifest."""
+        return [
+            {"key": key, "status": status}
+            for key, status in self.statuses.items()
+        ]
+
+    def close(self) -> None:
+        """Close the event log, if open."""
+        if self._log is not None:
+            self._log.close()
+
+
+def _run_serial_tasks(run_one, items, observer: _GridObserver | None):
+    """Run ``run_one(key, value)`` for each item in-process.
+
+    Returns ``(results, failures)`` where failures are ``(key, exc)``
+    pairs; the grid keeps going past a failed task so every cell's
+    outcome is known (matching the pooled path).
+    """
+    results: dict = {}
+    failures: list[tuple] = []
+    for key, value in items:
+        if observer is not None:
+            observer.started(key)
+        try:
+            results[key] = run_one(key, value)
+        except Exception as exc:  # noqa: BLE001 — recorded, then re-raised
+            failures.append((key, exc))
+            if observer is not None:
+                observer.failed(key, exc)
+        else:
+            if observer is not None:
+                observer.finished(key)
+    return results, failures
+
+
+def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback, observer):
+    """Fan ``worker_fn`` tasks over a process pool.
 
     ``write_payloads(payload_dir)`` persists shared payloads and returns
-    one argument tuple per task. Infrastructure failures (payload dir /
-    pool setup, a broken pool) invoke ``serial_fallback``; exceptions
-    raised *by a task* propagate to the caller.
+    one argument tuple per task (the task key at index 1, the contract
+    of both worker entries). Returns ``(results, failures)``.
+    Infrastructure failures (payload dir / pool setup, a broken pool)
+    invoke ``serial_fallback``; exceptions raised *by a task* are
+    collected as failures for the caller to record and re-raise.
     """
     try:
         payload_dir = tempfile.TemporaryDirectory(prefix="repro-trace-")
@@ -142,23 +267,57 @@ def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback) -> dic
             # No usable payload dir or process pool (restricted sandbox,
             # missing /dev/shm, exhausted pids, ...): run in-process.
             return serial_fallback()
+        results: dict = {}
+        failures: list[tuple] = []
         with pool:
-            futures = [pool.submit(worker_fn, *task) for task in tasks]
+            future_keys = {}
+            for task in tasks:
+                key = task[1]
+                if observer is not None:
+                    observer.started(key)
+                future_keys[pool.submit(worker_fn, *task)] = key
             try:
-                return dict(future.result() for future in futures)
+                for future in as_completed(future_keys):
+                    key = future_keys[future]
+                    try:
+                        result_key, result = future.result()
+                    except BrokenProcessPool:
+                        raise
+                    except Exception as exc:  # noqa: BLE001 — see docstring
+                        failures.append((key, exc))
+                        if observer is not None:
+                            observer.failed(key, exc)
+                    else:
+                        results[result_key] = result
+                        if observer is not None:
+                            observer.finished(key)
             except BrokenProcessPool:
                 # A worker *process* died (OOM-kill, sandbox teardown) —
                 # infrastructure, not a simulation error: retry serially.
                 return serial_fallback()
+        return results, failures
     finally:
         payload_dir.cleanup()
 
 
-def _run_serial(trace, factories, geometry, timing, engine):
-    return {
-        key: run_llc(trace, factory(), geometry, timing=timing, engine=engine)
-        for key, factory in factories.items()
-    }
+def _finish_grid(
+    observer: _GridObserver | None,
+    manifest_out: Path | None,
+    failures: list[tuple],
+    sweep_manifest: Callable[[_GridObserver], Manifest] | None,
+):
+    """Close the observer, write the sweep manifest, re-raise failures.
+
+    The sweep manifest is written *before* re-raising so a partially
+    failed grid still leaves a complete post-mortem record (the
+    ``run_matrix`` failure-diagnosability contract).
+    """
+    if observer is not None:
+        observer.close()
+    if manifest_out is not None and observer is not None and sweep_manifest:
+        sweep_manifest(observer).save(manifest_out)
+    if failures:
+        raise failures[0][1]
 
 
 def run_matrix(
@@ -168,6 +327,8 @@ def run_matrix(
     timing: TimingModel | None = None,
     max_workers: int | None = None,
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    on_event: Callable[[ProgressEvent], None] | None = None,
 ) -> dict:
     """Run a trace x policy-factory matrix, in parallel when possible.
 
@@ -178,52 +339,98 @@ def run_matrix(
         geometry / timing / engine: forwarded to :func:`run_llc`.
         max_workers: worker processes; None resolves via
             :func:`resolve_max_workers`, 0/1 forces serial.
+        manifest_dir: when set, each cell writes a per-run manifest, all
+            progress events land in ``events.jsonl``, and a sweep-level
+            manifest (kind ``"matrix"``) records per-task status and any
+            failures.
+        on_event: optional callback receiving started/finished/failed
+            :class:`ProgressEvent` records (emitted in this process).
 
     Returns:
         {key: SingleCoreResult} for every entry in ``factories``.
 
     Raises:
-        Whatever a simulation task raises (see the module docstring);
+        Whatever the first failing simulation task raised (after the
+        remaining tasks complete and the sweep manifest is written);
         only infrastructure failures fall back to the serial path.
     """
     workers = resolve_max_workers(max_workers)
     items = list(factories.items())
-    serial = partial(_run_serial, trace, factories, geometry, timing, engine)
-    if workers <= 1 or len(items) <= 1:
-        return serial()
-    try:
-        pickle.dumps([factory for _, factory in items])
-    except Exception:
-        return serial()
+    manifest_out = Path(manifest_dir) if manifest_dir is not None else None
+    manifest_arg = str(manifest_out) if manifest_out is not None else None
+    observer = None
+    if manifest_out is not None or on_event is not None:
+        observer = _GridObserver(
+            total=len(items),
+            on_event=on_event,
+            manifest_dir=manifest_out,
+            label="matrix",
+            failure_context=lambda key: (str(key), trace.name),
+        )
 
-    def write_payloads(payload_dir: Path) -> list[tuple]:
-        trace_path = str(payload_dir / "trace.npz")
-        trace.save(trace_path)
-        return [
-            (trace_path, key, factory, geometry, timing, engine)
-            for key, factory in items
-        ]
-
-    resolved = _run_pooled(
-        _run_packed_task, min(workers, len(items)), write_payloads, serial
-    )
-    return {key: resolved[key] for key, _ in items}
-
-
-def _run_mixes_serial(mixes, factories, geometry, timing, singles, engine):
-    return {
-        (mix_key, policy_key): run_shared_llc(
-            traces,
+    def run_one(key, factory):
+        return run_llc(
+            trace,
             factory(),
             geometry,
             timing=timing,
-            singles=None if singles is None else singles[mix_key],
-            name=mix_key,
             engine=engine,
+            manifest_dir=manifest_arg,
+            run_label=str(key),
         )
-        for mix_key, traces in mixes.items()
-        for policy_key, factory in factories.items()
-    }
+
+    serial = partial(_run_serial_tasks, run_one, items, observer)
+    start = perf_counter()
+    use_pool = workers > 1 and len(items) > 1
+    if use_pool:
+        try:
+            pickle.dumps([factory for _, factory in items])
+        except Exception:
+            use_pool = False
+    if use_pool:
+
+        def write_payloads(payload_dir: Path) -> list[tuple]:
+            trace_path = str(payload_dir / "trace.npz")
+            trace.save(trace_path)
+            return [
+                (trace_path, key, factory, geometry, timing, engine, manifest_arg)
+                for key, factory in items
+            ]
+
+        results, failures = _run_pooled(
+            _run_packed_task,
+            min(workers, len(items)),
+            write_payloads,
+            serial,
+            observer,
+        )
+    else:
+        results, failures = serial()
+
+    def sweep_manifest(obs: _GridObserver) -> Manifest:
+        wall = perf_counter() - start
+        return Manifest(
+            kind="matrix",
+            workload=trace.name,
+            policy=f"{len(items)} policies",
+            engine=engine,
+            config={
+                "num_sets": geometry.num_sets,
+                "ways": geometry.ways,
+                "line_size": geometry.line_size,
+                "workers": workers,
+            },
+            trace_fingerprint=trace_fingerprint(trace),
+            git_sha=_git_sha(),
+            wall_time_s=wall,
+            accesses=len(trace) * len(items),
+            accesses_per_sec=(len(trace) * len(items)) / wall if wall > 0 else 0.0,
+            tasks=obs.task_records(),
+            failures=list(obs.failures),
+        )
+
+    _finish_grid(observer, manifest_out, failures, sweep_manifest)
+    return {key: results[key] for key, _ in items}
 
 
 def run_mix_matrix(
@@ -234,6 +441,8 @@ def run_mix_matrix(
     singles: dict[str, list[float]] | None = None,
     max_workers: int | None = None,
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    on_event: Callable[[ProgressEvent], None] | None = None,
 ) -> dict[tuple[str, str], MultiCoreResult]:
     """Run a (mix x policy-factory) grid of shared-LLC runs in parallel.
 
@@ -254,56 +463,122 @@ def run_mix_matrix(
             the duplicate work.
         max_workers: worker processes; None resolves via
             :func:`resolve_max_workers`, 0/1 forces serial.
+        manifest_dir / on_event: the :func:`run_matrix` observability
+            contract; the sweep-level manifest kind is ``"mix_matrix"``.
 
     Returns:
         {(mix_key, policy_key): MultiCoreResult} for the full grid, in
         mixes-major insertion order.
 
     Raises:
-        Whatever a simulation task raises (see the module docstring);
+        Whatever the first failing simulation task raised (after the
+        remaining tasks complete and the sweep manifest is written);
         only infrastructure failures fall back to the serial path.
     """
     if singles is not None and set(singles) != set(mixes):
         raise ValueError("singles must provide baselines for exactly the mixes")
     workers = resolve_max_workers(max_workers)
     grid = [(mix_key, policy_key) for mix_key in mixes for policy_key in factories]
+    manifest_out = Path(manifest_dir) if manifest_dir is not None else None
+    manifest_arg = str(manifest_out) if manifest_out is not None else None
+    observer = None
+    if manifest_out is not None or on_event is not None:
+        observer = _GridObserver(
+            total=len(grid),
+            on_event=on_event,
+            manifest_dir=manifest_out,
+            label="mix-matrix",
+            # grid keys are (mix, policy) pairs
+            failure_context=lambda key: (str(key[1]), str(key[0])),
+        )
+
+    def run_one(key, _value):
+        mix_key, policy_key = key
+        return run_shared_llc(
+            mixes[mix_key],
+            factories[policy_key](),
+            geometry,
+            timing=timing,
+            singles=None if singles is None else singles[mix_key],
+            name=mix_key,
+            engine=engine,
+            manifest_dir=manifest_arg,
+            run_label=str(key),
+        )
+
     serial = partial(
-        _run_mixes_serial, mixes, factories, geometry, timing, singles, engine
+        _run_serial_tasks, run_one, [(key, None) for key in grid], observer
     )
-    if workers <= 1 or len(grid) <= 1:
-        return serial()
-    try:
-        pickle.dumps(list(factories.values()))
-    except Exception:
-        return serial()
+    start = perf_counter()
+    use_pool = workers > 1 and len(grid) > 1
+    if use_pool:
+        try:
+            pickle.dumps(list(factories.values()))
+        except Exception:
+            use_pool = False
+    if use_pool:
 
-    def write_payloads(payload_dir: Path) -> list[tuple]:
-        mix_paths: dict[str, list[str]] = {}
-        for slot, (mix_key, traces) in enumerate(mixes.items()):
-            paths = []
-            for thread, trace in enumerate(traces):
-                path = str(payload_dir / f"mix{slot}-t{thread}.npz")
-                trace.save(path)
-                paths.append(path)
-            mix_paths[mix_key] = paths
-        return [
-            (
-                mix_paths[mix_key],
-                (mix_key, policy_key),
-                factories[policy_key],
-                geometry,
-                timing,
-                None if singles is None else singles[mix_key],
-                mix_key,
-                engine,
-            )
-            for mix_key, policy_key in grid
-        ]
+        def write_payloads(payload_dir: Path) -> list[tuple]:
+            mix_paths: dict[str, list[str]] = {}
+            for slot, (mix_key, traces) in enumerate(mixes.items()):
+                paths = []
+                for thread, trace in enumerate(traces):
+                    path = str(payload_dir / f"mix{slot}-t{thread}.npz")
+                    trace.save(path)
+                    paths.append(path)
+                mix_paths[mix_key] = paths
+            return [
+                (
+                    mix_paths[mix_key],
+                    (mix_key, policy_key),
+                    factories[policy_key],
+                    geometry,
+                    timing,
+                    None if singles is None else singles[mix_key],
+                    mix_key,
+                    engine,
+                    manifest_arg,
+                )
+                for mix_key, policy_key in grid
+            ]
 
-    resolved = _run_pooled(
-        _run_shared_task, min(workers, len(grid)), write_payloads, serial
-    )
-    return {key: resolved[key] for key in grid}
+        results, failures = _run_pooled(
+            _run_shared_task,
+            min(workers, len(grid)),
+            write_payloads,
+            serial,
+            observer,
+        )
+    else:
+        results, failures = serial()
+
+    def sweep_manifest(obs: _GridObserver) -> Manifest:
+        wall = perf_counter() - start
+        total_accesses = sum(
+            len(trace) for traces in mixes.values() for trace in traces
+        ) * len(factories)
+        return Manifest(
+            kind="mix_matrix",
+            workload=",".join(mixes),
+            policy=",".join(str(key) for key in factories),
+            engine=engine,
+            config={
+                "num_sets": geometry.num_sets,
+                "ways": geometry.ways,
+                "line_size": geometry.line_size,
+                "workers": workers,
+                "mixes": len(mixes),
+            },
+            git_sha=_git_sha(),
+            wall_time_s=wall,
+            accesses=total_accesses,
+            accesses_per_sec=total_accesses / wall if wall > 0 else 0.0,
+            tasks=obs.task_records(),
+            failures=list(obs.failures),
+        )
+
+    _finish_grid(observer, manifest_out, failures, sweep_manifest)
+    return {key: results[key] for key in grid}
 
 
 def parallel_sweep_static_pd(
@@ -315,6 +590,8 @@ def parallel_sweep_static_pd(
     timing: TimingModel | None = None,
     max_workers: int | None = None,
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    on_event: Callable[[ProgressEvent], None] | None = None,
 ) -> dict[int, SingleCoreResult]:
     """Parallel counterpart of :func:`repro.sim.runner.sweep_static_pd`."""
     factories = {
@@ -327,6 +604,8 @@ def parallel_sweep_static_pd(
         timing=timing,
         max_workers=max_workers,
         engine=engine,
+        manifest_dir=manifest_dir,
+        on_event=on_event,
     )
 
 
@@ -337,6 +616,8 @@ def parallel_compare_policies(
     timing: TimingModel | None = None,
     max_workers: int | None = None,
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    on_event: Callable[[ProgressEvent], None] | None = None,
 ) -> dict[str, SingleCoreResult]:
     """Parallel counterpart of :func:`repro.sim.runner.compare_policies`.
 
@@ -350,6 +631,8 @@ def parallel_compare_policies(
         timing=timing,
         max_workers=max_workers,
         engine=engine,
+        manifest_dir=manifest_dir,
+        on_event=on_event,
     )
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Iterable
 
 from repro.core.pdp_policy import PDPPolicy
@@ -20,14 +21,19 @@ def sweep_static_pd(
     timing: TimingModel | None = None,
     max_workers: int | None = 1,
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    on_event: Callable | None = None,
 ) -> dict[int, SingleCoreResult]:
     """Run static PDP (SPDP) for each candidate PD (Sec. 2.3).
 
     ``max_workers=1`` (the default) runs serially in-process; any other
     value — including None for auto — delegates to
-    :func:`repro.sim.parallel.parallel_sweep_static_pd`.
+    :func:`repro.sim.parallel.parallel_sweep_static_pd`. Requesting
+    observability (``manifest_dir`` or ``on_event``) also delegates, so
+    manifests and progress events are emitted regardless of worker
+    count.
     """
-    if max_workers != 1:
+    if max_workers != 1 or manifest_dir is not None or on_event is not None:
         from repro.sim.parallel import parallel_sweep_static_pd
 
         return parallel_sweep_static_pd(
@@ -39,6 +45,8 @@ def sweep_static_pd(
             timing=timing,
             max_workers=max_workers,
             engine=engine,
+            manifest_dir=manifest_dir,
+            on_event=on_event,
         )
     results: dict[int, SingleCoreResult] = {}
     for pd in pds:
@@ -55,6 +63,8 @@ def best_static_pd(
     n_c: int = 8,
     timing: TimingModel | None = None,
     max_workers: int | None = 1,
+    manifest_dir: str | os.PathLike | None = None,
+    on_event: Callable | None = None,
 ) -> tuple[int, SingleCoreResult]:
     """The PD minimizing misses over a sweep, with its result."""
     results = sweep_static_pd(
@@ -65,6 +75,8 @@ def best_static_pd(
         n_c=n_c,
         timing=timing,
         max_workers=max_workers,
+        manifest_dir=manifest_dir,
+        on_event=on_event,
     )
     pd = min(results, key=lambda candidate: results[candidate].misses)
     return pd, results[pd]
@@ -77,12 +89,15 @@ def compare_policies(
     timing: TimingModel | None = None,
     max_workers: int | None = 1,
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    on_event: Callable | None = None,
 ) -> dict[str, SingleCoreResult]:
     """Run one trace under several policies (fresh instance per run).
 
-    See :func:`sweep_static_pd` for the ``max_workers`` contract.
+    See :func:`sweep_static_pd` for the ``max_workers`` and
+    observability contracts.
     """
-    if max_workers != 1:
+    if max_workers != 1 or manifest_dir is not None or on_event is not None:
         from repro.sim.parallel import parallel_compare_policies
 
         return parallel_compare_policies(
@@ -92,6 +107,8 @@ def compare_policies(
             timing=timing,
             max_workers=max_workers,
             engine=engine,
+            manifest_dir=manifest_dir,
+            on_event=on_event,
         )
     return {
         name: run_llc(trace, factory(), geometry, timing=timing, engine=engine)

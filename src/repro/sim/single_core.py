@@ -8,13 +8,18 @@ end-to-end studies.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from time import perf_counter
 
 from repro.memory.cache import CacheGeometry, SetAssociativeCache
 from repro.memory.fastpath import run_hierarchy_trace, run_trace
 from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.stats import OccupancyTracker
 from repro.memory.timing import TimingModel
+from repro.obs.manifest import Manifest, trace_fingerprint
+from repro.obs.manifest import git_sha as _git_sha
+from repro.obs.telemetry import TELEMETRY
 from repro.traces.trace import Trace
 
 #: Engine modes accepted by the drivers: "fast" (batched kernel, the
@@ -24,8 +29,65 @@ ENGINES = ("fast", "reference")
 
 
 def _check_engine(engine: str) -> None:
+    """Reject unknown engine names early, before any setup work."""
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+
+def emit_run_manifest(
+    manifest_dir: str | os.PathLike,
+    kind: str,
+    trace: Trace,
+    policy_name: str,
+    geometry: CacheGeometry,
+    engine: str,
+    result: SingleCoreResult,
+    wall_time_s: float,
+    run_label: str | None = None,
+    run_meta: dict | None = None,
+) -> None:
+    """Write one per-run provenance manifest (see ``repro.obs.manifest``).
+
+    Used by :func:`run_llc` / :func:`run_hierarchy` and by experiment
+    drivers that derive a cell from an existing
+    :class:`SingleCoreResult` (e.g. Fig. 10's SPDP-B column, the best
+    point of a sweep) and still want it represented in the manifest
+    directory.
+    """
+    meta = dict(run_meta or {})
+    Manifest(
+        kind=kind,
+        workload=trace.name,
+        policy=policy_name,
+        engine=engine,
+        label=run_label,
+        seed=meta.pop("seed", None),
+        config={
+            "num_sets": geometry.num_sets,
+            "ways": geometry.ways,
+            "line_size": geometry.line_size,
+        },
+        trace_fingerprint=trace_fingerprint(trace),
+        git_sha=_git_sha(),
+        wall_time_s=wall_time_s,
+        accesses=result.accesses,
+        accesses_per_sec=result.accesses / wall_time_s if wall_time_s > 0 else 0.0,
+        stats={
+            "accesses": result.accesses,
+            "hits": result.hits,
+            "misses": result.misses,
+            "bypasses": result.bypasses,
+            "instructions": result.instructions,
+        },
+        metrics={
+            "hit_rate": result.hit_rate,
+            "mpki": result.mpki,
+            "ipc": result.ipc,
+            "bypass_fraction": result.bypass_fraction,
+        },
+        telemetry=TELEMETRY.snapshot() if TELEMETRY.enabled else {},
+        extra=meta,
+    ).save(manifest_dir)
 
 
 @dataclass(slots=True)
@@ -43,16 +105,19 @@ class SingleCoreResult:
 
     @property
     def hit_rate(self) -> float:
+        """Hits over accesses (0.0 on an empty run)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
     @property
     def mpki(self) -> float:
+        """Misses per thousand instructions."""
         if self.instructions <= 0:
             return 0.0
         return 1000.0 * self.misses / self.instructions
 
     @property
     def bypass_fraction(self) -> float:
+        """Fraction of accesses that bypassed the LLC."""
         return self.bypasses / self.accesses if self.accesses else 0.0
 
 
@@ -64,6 +129,9 @@ def run_llc(
     track_occupancy: bool = False,
     occupancy_threshold: int = 16,
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    run_label: str | None = None,
+    run_meta: dict | None = None,
 ) -> SingleCoreResult:
     """Drive ``trace`` into an LLC governed by ``policy``.
 
@@ -75,9 +143,18 @@ def run_llc(
         track_occupancy: attach an occupancy tracker (Fig. 5a data).
         engine: "fast" (batched kernel) or "reference" (per-Access loop);
             both produce identical results.
+        manifest_dir: when set, write a provenance manifest for this run
+            into the directory (see :mod:`repro.obs.manifest`). Never
+            read from the environment here — nested helper runs must not
+            emit surprise manifests.
+        run_label: display label recorded in the manifest (e.g. the
+            sweep cell key); defaults to the policy class name.
+        run_meta: extra JSON-native context for the manifest; a ``seed``
+            key is lifted into the manifest's ``seed`` field.
     """
     _check_engine(engine)
     timing = timing or TimingModel()
+    start = perf_counter()
     cache = SetAssociativeCache(geometry, policy)
     tracker = None
     if track_occupancy:
@@ -107,7 +184,7 @@ def run_llc(
         extra["final_pd"] = pd_engine.current_pd
     if hasattr(policy, "current_pd"):
         extra["current_pd"] = policy.current_pd
-    return SingleCoreResult(
+    result = SingleCoreResult(
         name=trace.name,
         accesses=stats.accesses,
         hits=stats.hits,
@@ -117,6 +194,20 @@ def run_llc(
         ipc=ipc,
         extra=extra,
     )
+    if manifest_dir is not None:
+        emit_run_manifest(
+            manifest_dir,
+            "llc",
+            trace,
+            type(policy).__name__,
+            geometry,
+            engine,
+            result,
+            perf_counter() - start,
+            run_label,
+            run_meta,
+        )
+    return result
 
 
 def run_hierarchy(
@@ -125,12 +216,20 @@ def run_hierarchy(
     machine=None,
     timing: TimingModel | None = None,
     engine: str = "fast",
+    manifest_dir: str | os.PathLike | None = None,
+    run_label: str | None = None,
+    run_meta: dict | None = None,
 ) -> SingleCoreResult:
-    """Drive ``trace`` through L1 -> L2 -> LLC (Table 1 defaults)."""
+    """Drive ``trace`` through L1 -> L2 -> LLC (Table 1 defaults).
+
+    ``manifest_dir`` / ``run_label`` / ``run_meta`` follow the
+    :func:`run_llc` contract (manifest ``kind`` is ``"hierarchy"``).
+    """
     from repro.sim.config import MachineConfig
 
     _check_engine(engine)
     machine = machine or MachineConfig()
+    start = perf_counter()
     timing = timing or machine.timing()
     hierarchy = CacheHierarchy(
         llc_policy,
@@ -150,7 +249,7 @@ def run_hierarchy(
         llc_hits=result.llc_hits,
         memory_accesses=result.memory_accesses,
     )
-    return SingleCoreResult(
+    outcome = SingleCoreResult(
         name=trace.name,
         accesses=result.accesses,
         hits=result.l1_hits + result.l2_hits + result.llc_hits,
@@ -160,6 +259,26 @@ def run_hierarchy(
         ipc=ipc,
         extra={"hierarchy": result},
     )
+    if manifest_dir is not None:
+        emit_run_manifest(
+            manifest_dir,
+            "hierarchy",
+            trace,
+            type(llc_policy).__name__,
+            machine.llc,
+            engine,
+            outcome,
+            perf_counter() - start,
+            run_label,
+            run_meta,
+        )
+    return outcome
 
 
-__all__ = ["ENGINES", "SingleCoreResult", "run_hierarchy", "run_llc"]
+__all__ = [
+    "ENGINES",
+    "SingleCoreResult",
+    "emit_run_manifest",
+    "run_hierarchy",
+    "run_llc",
+]

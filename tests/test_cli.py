@@ -78,3 +78,63 @@ class TestCommands:
     def test_unknown_experiment(self, capsys):
         assert main(["experiment", "fig99"]) == 2
         assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_sweep_progress_and_manifests(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep",
+                "--benchmark",
+                "473.astar",
+                "--length",
+                "4000",
+                "--step",
+                "120",
+                "--progress",
+                "--manifest-dir",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "best" in captured.out
+        assert "[sweep]" in captured.err  # progress lines on stderr
+        assert "finished" in captured.err
+        assert list(tmp_path.glob("*.json"))
+        assert (tmp_path / "events.jsonl").exists()
+
+    def test_obs_summarize_round_trip(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "run",
+                    "--benchmark",
+                    "473.astar",
+                    "--policy",
+                    "lru",
+                    "--length",
+                    "4000",
+                    "--manifest-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "473.astar" in out
+        assert "lru" in out
+
+    def test_obs_summarize_empty_dir(self, capsys, tmp_path):
+        assert main(["obs", "summarize", str(tmp_path)]) == 1
+        assert "no manifests" in capsys.readouterr().err
+
+    def test_manifest_dir_env_default(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        code = main(
+            ["run", "--benchmark", "473.astar", "--policy", "lru", "--length", "4000"]
+        )
+        assert code == 0
+        assert list(tmp_path.glob("*.json"))

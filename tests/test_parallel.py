@@ -106,6 +106,42 @@ def test_worker_simulation_error_propagates(trace, max_workers):
         run_matrix(trace, factories, GEOMETRY, max_workers=max_workers)
 
 
+@pytest.mark.parametrize("max_workers", [1, 2])
+def test_progress_events_ordered(trace, max_workers):
+    """Every task's started event precedes its finished event, and the
+    done counter is monotonic — also under the process pool, where
+    completions arrive via as_completed."""
+    events = []
+    factories = {"lru": LRUPolicy, "drrip": DRRIPPolicy}
+    run_matrix(
+        trace, factories, GEOMETRY, max_workers=max_workers, on_event=events.append
+    )
+    kinds = [(e.kind, e.key) for e in events]
+    for key in factories:
+        assert kinds.count(("started", key)) == 1
+        assert kinds.count(("finished", key)) == 1
+        assert kinds.index(("started", key)) < kinds.index(("finished", key))
+    dones = [e.done for e in events]
+    assert dones == sorted(dones)
+    assert events[-1].done == events[-1].total == len(factories)
+
+
+def test_run_matrix_manifest_dir_writes_cells_and_events(trace, tmp_path):
+    from repro.obs.manifest import load_manifests
+    from repro.obs.trace_log import EVENTS_FILENAME, read_events
+
+    factories = {"lru": LRUPolicy, "drrip": DRRIPPolicy}
+    run_matrix(trace, factories, GEOMETRY, max_workers=2, manifest_dir=tmp_path)
+    manifests = load_manifests(tmp_path)
+    cells = [m for m in manifests if m.kind == "llc"]
+    sweeps = [m for m in manifests if m.kind == "matrix"]
+    assert sorted(m.label for m in cells) == ["drrip", "lru"]
+    assert len(sweeps) == 1
+    assert {t["status"] for t in sweeps[0].tasks} == {"finished"}
+    events = read_events(tmp_path / EVENTS_FILENAME)
+    assert sum(1 for e in events if e["kind"] == "finished") == len(factories)
+
+
 def _mixes() -> dict[str, list[Trace]]:
     def thread_trace(seed: int, n: int) -> Trace:
         rng = np.random.default_rng(seed)

@@ -26,6 +26,7 @@ class TestTopLevelExports:
             "repro.policies",
             "repro.partitioning",
             "repro.memory",
+            "repro.obs",
             "repro.sim",
             "repro.traces",
             "repro.workloads",

@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate (stdlib-only stand-in for ``interrogate``).
+
+Walks Python files with ``ast`` and counts docstrings on modules,
+classes, and functions/methods — including private (``_name``) helpers:
+if it is defined at module or class level, it is documented or it drags
+the score down. Two exemptions, mirroring interrogate's common
+configuration: dunder methods (``__init__``, ``__enter__``, ...), whose
+contracts are defined by the data model, and closures nested inside
+function bodies, which are implementation detail of their documented
+enclosing function.
+
+Usage::
+
+    python tools/check_docstrings.py --fail-under 90 src/repro/obs src/repro/sim
+    python tools/check_docstrings.py --verbose src/repro   # list misses
+
+Exit status 0 when every listed path meets the threshold, 1 otherwise.
+CI runs this next to the bench smoke jobs (see
+``.github/workflows/ci.yml``); ``tests/test_obs.py`` pins the gated
+packages above the threshold so a regression fails the tier-1 suite too.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+
+def _is_dunder(name: str) -> bool:
+    """True for data-model methods like ``__init__`` / ``__exit__``."""
+    return name.startswith("__") and name.endswith("__")
+
+
+def iter_definitions(tree: ast.Module):
+    """Yield (node, name) for the module and every countable def/class.
+
+    Recurses through module and class bodies but not function bodies, so
+    closures are exempt; dunder methods are skipped entirely.
+    """
+    yield tree, "<module>"
+
+    def visit(body):
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                yield node, node.name
+                yield from visit(node.body)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_dunder(node.name):
+                    yield node, node.name
+
+    yield from visit(tree.body)
+
+
+def file_coverage(path: Path) -> tuple[int, int, list[str]]:
+    """(documented, total, missing-names) for one Python file."""
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+    except SyntaxError as exc:
+        return 0, 1, [f"{path}: unparseable ({exc})"]
+    documented = 0
+    total = 0
+    missing = []
+    for node, name in iter_definitions(tree):
+        total += 1
+        if ast.get_docstring(node):
+            documented += 1
+        else:
+            line = getattr(node, "lineno", 1)
+            missing.append(f"{path}:{line}: {name}")
+    return documented, total, missing
+
+
+def collect_files(paths: list[str]) -> list[Path]:
+    """Expand arguments into a sorted list of ``.py`` files."""
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise SystemExit(f"not a Python file or directory: {raw}")
+    return files
+
+
+def check(paths: list[str], fail_under: float, verbose: bool = False) -> int:
+    """Print a coverage report; return a process exit status."""
+    files = collect_files(paths)
+    if not files:
+        print("no Python files found", file=sys.stderr)
+        return 1
+    documented = 0
+    total = 0
+    missing: list[str] = []
+    for path in files:
+        file_documented, file_total, file_missing = file_coverage(path)
+        documented += file_documented
+        total += file_total
+        missing.extend(file_missing)
+    coverage = 100.0 * documented / total if total else 100.0
+    status = "PASSED" if coverage >= fail_under else "FAILED"
+    print(
+        f"docstring coverage: {documented}/{total} definitions = "
+        f"{coverage:.1f}% (threshold {fail_under:.1f}%) — {status}"
+    )
+    if verbose or coverage < fail_under:
+        for entry in missing:
+            print(f"  missing: {entry}")
+    return 0 if coverage >= fail_under else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", help="files or directories to check")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=90.0,
+        help="minimum coverage percentage (default 90)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="always list undocumented definitions",
+    )
+    args = parser.parse_args(argv)
+    return check(args.paths, args.fail_under, verbose=args.verbose)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
