@@ -10,6 +10,12 @@ Commands:
 - ``experiment`` — run one of the paper's figure/table drivers.
 - ``overhead`` — the hardware overhead report.
 - ``obs summarize`` — rebuild a result table from a manifest directory.
+- ``trace convert`` / ``trace info`` — stream-convert and inspect
+  external trace files (native ``.trz``, ChampSim-style binary, CSV).
+
+``run`` and ``sweep`` accept ``--trace-file`` to simulate an external
+trace (streamed in chunks, so file size is unbounded by RAM) instead of
+a generated ``--benchmark`` workload.
 
 Observability: ``run``, ``sweep`` and ``experiment`` accept
 ``--manifest-dir`` (defaulting to ``$REPRO_MANIFEST_DIR`` when set) to
@@ -85,18 +91,46 @@ def _make_policy(name: str, config, trace):
     return make_policy(name)
 
 
-def _cmd_run(args) -> int:
-    from repro.sim.single_core import run_llc
+def _workload_source(args, config):
+    """Resolve the simulated workload: a generated benchmark trace, or an
+    external trace file opened as a chunked stream (``--trace-file``)."""
+    if getattr(args, "trace_file", None) is not None:
+        if getattr(args, "benchmark", None) is not None:
+            raise SystemExit("--benchmark and --trace-file are mutually exclusive")
+        from repro.traces.formats import open_trace
+
+        return open_trace(
+            args.trace_file,
+            format=args.trace_format,
+            chunk_size=args.chunk_size,
+        )
+    if getattr(args, "benchmark", None) is None:
+        raise SystemExit("one of --benchmark or --trace-file is required")
     from repro.workloads.spec_like import make_benchmark_trace
 
-    config = experiment_common.experiment_config()
-    trace = make_benchmark_trace(
+    return make_benchmark_trace(
         args.benchmark,
         length=args.length,
         num_sets=config.num_sets,
-        seed=args.seed,
+        seed=getattr(args, "seed", None),
         cache_dir=args.trace_cache_dir,
     )
+
+
+def _cmd_run(args) -> int:
+    from repro.sim.single_core import run_llc
+    from repro.traces.stream import TraceStream
+
+    config = experiment_common.experiment_config()
+    trace = _workload_source(args, config)
+    if args.policy == "belady" and isinstance(trace, TraceStream):
+        print(
+            "belady needs the full future address stream in memory and "
+            "cannot run on a chunked --trace-file; convert the file and "
+            "use a generated --benchmark, or pick another policy",
+            file=sys.stderr,
+        )
+        return 2
     policy = _make_policy(args.policy, config, trace)
     result = run_llc(
         trace,
@@ -108,7 +142,7 @@ def _cmd_run(args) -> int:
         run_label=args.policy,
         run_meta={"seed": args.seed} if args.seed is not None else None,
     )
-    print(f"benchmark : {args.benchmark} ({len(trace)} accesses)")
+    print(f"workload  : {result.name} ({result.accesses} accesses)")
     print(f"policy    : {args.policy}")
     print(f"hit rate  : {result.hit_rate:.4f}")
     print(f"MPKI      : {result.mpki:.2f}")
@@ -144,15 +178,8 @@ def _cmd_rdd(args) -> int:
 def _cmd_sweep(args) -> int:
     from repro.sim.runner import sweep_static_pd
 
-    from repro.workloads.spec_like import make_benchmark_trace
-
     config = experiment_common.experiment_config()
-    trace = make_benchmark_trace(
-        args.benchmark,
-        length=args.length,
-        num_sets=config.num_sets,
-        cache_dir=args.trace_cache_dir,
-    )
+    trace = _workload_source(args, config)
     grid = list(range(16, config.d_max + 1, args.step))
     # --workers 0 = auto (env REPRO_MAX_WORKERS, else cpu count).
     max_workers = None if args.workers == 0 else args.workers
@@ -166,7 +193,8 @@ def _cmd_sweep(args) -> int:
         on_event=_progress_callback(args, "sweep"),
     )
     best = min(grid, key=lambda pd: results[pd].misses)
-    print(f"# static PD sweep on {args.benchmark} "
+    source = args.benchmark if args.benchmark is not None else args.trace_file
+    print(f"# static PD sweep on {source} "
           f"({'SPDP-NB' if args.no_bypass else 'SPDP-B'})")
     for pd in grid:
         marker = "  <= best" if pd == best else ""
@@ -270,6 +298,83 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_trace_convert(args) -> int:
+    from repro.traces.formats import TraceFormatError, convert_trace
+
+    try:
+        copied = convert_trace(
+            args.src,
+            args.dst,
+            src_format=args.from_format,
+            dst_format=args.to_format,
+            chunk_size=args.chunk_size,
+            name=args.name,
+            instructions_per_access=args.instructions_per_access,
+        )
+    except (TraceFormatError, FileNotFoundError) as exc:
+        print(f"trace convert failed: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {copied} accesses to {args.dst}")
+    return 0
+
+
+def _cmd_trace_info(args) -> int:
+    import json
+
+    from repro.traces.formats import TraceFormatError, trace_info
+
+    try:
+        info = trace_info(
+            args.path, format=args.format, chunk_size=args.chunk_size
+        )
+    except (TraceFormatError, FileNotFoundError) as exc:
+        print(f"trace info failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    threads = info["threads"]
+    span = (
+        f"[{info['min_address']:#x}, {info['max_address']:#x}]"
+        if info["min_address"] is not None
+        else "(empty)"
+    )
+    print(f"path        : {info['path']}")
+    print(f"format      : {info['format']}")
+    print(f"name        : {info['name']}")
+    print(f"accesses    : {info['accesses']}")
+    print(f"insns/access: {info['instructions_per_access']:g}")
+    print(f"threads     : {len(threads)} ({threads})")
+    print(f"addresses   : {span}")
+    print(f"fingerprint : {info['fingerprint']}")
+    return 0
+
+
+def _add_trace_file(parser: argparse.ArgumentParser) -> None:
+    """The external-trace-input options shared by ``run`` and ``sweep``."""
+    from repro.traces.formats import format_names
+    from repro.traces.stream import DEFAULT_CHUNK_SIZE
+
+    parser.add_argument(
+        "--trace-file",
+        default=None,
+        help="simulate this on-disk trace (streamed in chunks) instead of "
+        "a generated --benchmark workload",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=format_names(),
+        default=None,
+        help="format of --trace-file (default: infer from suffix/content)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK_SIZE,
+        help="accesses per streamed chunk when reading --trace-file",
+    )
+
+
 def _add_manifest_dir(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--manifest-dir",
@@ -290,10 +395,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list-policies").set_defaults(func=_cmd_list_policies)
 
     run = sub.add_parser("run", help="run one benchmark under one policy")
-    run.add_argument("--benchmark", required=True)
+    run.add_argument("--benchmark", default=None)
     run.add_argument("--policy", default="pdp")
     run.add_argument("--length", type=int, default=40_000)
     run.add_argument("--seed", type=int, default=None)
+    _add_trace_file(run)
     run.add_argument(
         "--engine",
         choices=("fast", "reference"),
@@ -316,10 +422,11 @@ def build_parser() -> argparse.ArgumentParser:
     rdd.set_defaults(func=_cmd_rdd)
 
     sweep = sub.add_parser("sweep", help="static protecting-distance sweep")
-    sweep.add_argument("--benchmark", required=True)
+    sweep.add_argument("--benchmark", default=None)
     sweep.add_argument("--length", type=int, default=40_000)
     sweep.add_argument("--step", type=int, default=16)
     sweep.add_argument("--no-bypass", action="store_true")
+    _add_trace_file(sweep)
     sweep.add_argument(
         "--workers",
         type=int,
@@ -372,6 +479,64 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("overhead", help="hardware overhead report").set_defaults(
         func=_cmd_overhead
     )
+
+    from repro.traces.formats import format_names
+    from repro.traces.stream import DEFAULT_CHUNK_SIZE
+
+    trace = sub.add_parser("trace", help="trace-file utilities")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    convert = trace_sub.add_parser(
+        "convert",
+        help="stream-convert a trace file between formats (O(chunk) memory)",
+    )
+    convert.add_argument("src", help="source trace file")
+    convert.add_argument("dst", help="destination trace file")
+    convert.add_argument(
+        "--from",
+        dest="from_format",
+        choices=format_names(),
+        default=None,
+        help="source format (default: infer from suffix/content)",
+    )
+    convert.add_argument(
+        "--to",
+        dest="to_format",
+        choices=format_names(),
+        default=None,
+        help="destination format (default: infer from suffix, else native)",
+    )
+    convert.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help="accesses copied per chunk",
+    )
+    convert.add_argument(
+        "--name", default=None, help="workload-name metadata override"
+    )
+    convert.add_argument(
+        "--instructions-per-access",
+        type=float,
+        default=None,
+        help="instructions-per-access metadata override",
+    )
+    convert.set_defaults(func=_cmd_trace_convert)
+    info = trace_sub.add_parser(
+        "info", help="scan and summarize a trace file (one chunked pass)"
+    )
+    info.add_argument("path", help="trace file to inspect")
+    info.add_argument(
+        "--format",
+        choices=format_names(),
+        default=None,
+        help="trace format (default: infer from suffix/content)",
+    )
+    info.add_argument(
+        "--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE,
+        help="accesses scanned per chunk",
+    )
+    info.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    info.set_defaults(func=_cmd_trace_info)
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

@@ -269,7 +269,9 @@ def run_trace(cache, trace) -> None:
         TELEMETRY.count("fastpath.accesses", n)
 
 
-def run_shared_trace(cache, trace, completion: list[int]) -> list[list[int]]:
+def run_shared_trace(
+    cache, trace, completion: list[int], position_offset: int = 0
+) -> list[list[int]]:
     """Drive an interleaved multi-thread trace through ``cache``, batched,
     accumulating per-thread statistics with stat freezing.
 
@@ -283,6 +285,13 @@ def run_shared_trace(cache, trace, completion: list[int]) -> list[list[int]]:
     the cache (the thread keeps pressuring it after rewinding) but no
     longer count toward thread ``t``'s statistics — the paper's
     stat-freezing rule (Sec. 5).
+
+    ``position_offset`` is the absolute position of ``trace``'s first
+    access within the full interleaved run — pass the chunk's start
+    index when feeding the mix in chunks, so the freeze comparison stays
+    against absolute completion positions. The chunked caller sums the
+    returned per-thread counters across chunks; the result is identical
+    to one whole-trace call (``tests/test_conformance.py``).
 
     Returns ``[accesses, hits, misses, bypasses]``, each a
     per-thread list of frozen counters. Global ``cache.stats`` covers the
@@ -331,7 +340,7 @@ def run_shared_trace(cache, trace, completion: list[int]) -> list[list[int]]:
     # three terminal outcomes. An access at ``position`` counts for its
     # thread iff ``position < completion[tid]`` — equivalent to the
     # reference loop's freeze-after-counting rule.
-    position = -1
+    position = position_offset - 1
     for address, pc, tid in zip(addresses, pcs, tids):
         position += 1
         scratch.address = address

@@ -74,20 +74,51 @@ def git_sha() -> str | None:
     return sha if out.returncode == 0 and sha else None
 
 
+class FingerprintAccumulator:
+    """Streaming trace fingerprint, chunk-size invariant.
+
+    Each columnar array feeds its own running SHA-256, so hashing a
+    trace in one shot or in arbitrary chunk splits yields the same
+    digest — the property that lets a chunked-streaming run's manifest
+    fingerprint match the one-shot run's (``tests/test_streaming.py``).
+    Call :meth:`update` per chunk, then :meth:`digest` with the
+    stream-level metadata.
+    """
+
+    def __init__(self) -> None:
+        self._addresses = hashlib.sha256()
+        self._pcs = hashlib.sha256()
+        self._thread_ids = hashlib.sha256()
+
+    def update(self, chunk) -> None:
+        """Fold one :class:`Trace` chunk's columns into the running hash."""
+        self._addresses.update(chunk.addresses.tobytes())
+        self._pcs.update(chunk.pcs.tobytes())
+        self._thread_ids.update(chunk.thread_ids.tobytes())
+
+    def digest(self, name: str, instructions_per_access: float) -> str:
+        """Finalize with the stream-level name and dilution."""
+        combined = hashlib.sha256()
+        combined.update(self._addresses.digest())
+        combined.update(self._pcs.digest())
+        combined.update(self._thread_ids.digest())
+        combined.update(name.encode("utf-8"))
+        combined.update(repr(float(instructions_per_access)).encode("utf-8"))
+        return combined.hexdigest()[:24]
+
+
 def trace_fingerprint(trace) -> str:
     """A stable content hash of a :class:`repro.traces.trace.Trace`.
 
     Hashes the three columnar arrays plus the name and the
     instructions-per-access dilution, so two traces fingerprint equal iff
-    a simulation cannot tell them apart.
+    a simulation cannot tell them apart. Implemented via
+    :class:`FingerprintAccumulator`, so a chunked stream of the same
+    content fingerprints identically.
     """
-    digest = hashlib.sha256()
-    digest.update(trace.addresses.tobytes())
-    digest.update(trace.pcs.tobytes())
-    digest.update(trace.thread_ids.tobytes())
-    digest.update(trace.name.encode("utf-8"))
-    digest.update(repr(trace.instructions_per_access).encode("utf-8"))
-    return digest.hexdigest()[:24]
+    accumulator = FingerprintAccumulator()
+    accumulator.update(trace)
+    return accumulator.digest(trace.name, trace.instructions_per_access)
 
 
 def resolve_manifest_dir(directory: str | os.PathLike | None = None) -> Path | None:
@@ -332,6 +363,7 @@ def summarize_manifests(manifests: list[Manifest]) -> str:
 
 __all__ = [
     "ENV_MANIFEST_DIR",
+    "FingerprintAccumulator",
     "MANIFEST_SCHEMA_VERSION",
     "Manifest",
     "TaskFailure",

@@ -91,6 +91,7 @@ def run_shared_llc(
     singles: list[float] | None = None,
     name: str = "mix",
     engine: str = "fast",
+    chunk_size: int | None = None,
     manifest_dir: str | os.PathLike | None = None,
     run_label: str | None = None,
     run_meta: dict | None = None,
@@ -104,6 +105,12 @@ def run_shared_llc(
         singles: stand-alone LRU IPCs (computed here when omitted).
         engine: "fast" (batched kernel) or "reference" (per-Access loop);
             both produce identical per-thread statistics.
+        chunk_size: when set (fast engine), feed the interleaved mix
+            through :func:`run_shared_trace` in zero-copy chunks of this
+            many accesses, summing the per-thread counters — identical
+            statistics to the one-shot call (the streaming contract of
+            :func:`repro.sim.single_core.run_llc`, applied to the
+            interleaved stream).
         manifest_dir: when set, write a provenance manifest (kind
             ``"shared_llc"``) for this run — explicit only, never read
             from the environment (see :func:`repro.sim.single_core.run_llc`).
@@ -113,6 +120,8 @@ def run_shared_llc(
             lifted into the manifest's ``seed`` field.
     """
     _check_engine(engine)
+    if chunk_size is not None and chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     timing = timing or TimingModel()
     start = perf_counter()
     num_threads = len(traces)
@@ -121,7 +130,20 @@ def run_shared_llc(
     mixed, completion = interleave_traces(traces)
     cache = SetAssociativeCache(geometry, policy)
 
-    if engine == "fast":
+    if engine == "fast" and chunk_size is not None:
+        accesses = [0] * num_threads
+        hits = [0] * num_threads
+        misses = [0] * num_threads
+        bypasses = [0] * num_threads
+        for begin in range(0, len(mixed), chunk_size):
+            chunk = mixed.slice(begin, begin + chunk_size)
+            part = run_shared_trace(
+                cache, chunk, completion, position_offset=begin
+            )
+            for totals, counts in zip((accesses, hits, misses, bypasses), part):
+                for thread, count in enumerate(counts):
+                    totals[thread] += count
+    elif engine == "fast":
         accesses, hits, misses, bypasses = run_shared_trace(
             cache, mixed, completion
         )

@@ -2,12 +2,16 @@
 
 The unit of work is one (trace, policy-factory) simulation — or, for the
 multi-core grid, one (mix, policy-factory) shared-LLC run. Traces are
-written to packed ``.npz`` payloads once (:meth:`Trace.save`) and workers
-load each at most once per process (a module-level memo), so a 32-point
-PD sweep ships the trace a handful of times instead of re-pickling it per
-task. Factories must be picklable — module-level callables, classes, or
-``functools.partial`` of those; lambdas and closures trigger the serial
-fallback.
+written once to packed payloads in the native compressed format
+(:meth:`Trace.save` / ``.trz``) and workers load each at most once per
+process (a module-level memo), so a 32-point PD sweep ships the trace a
+handful of times instead of re-pickling it per task. A
+:class:`repro.traces.stream.TraceStream` source (an external trace file
+opened via :func:`repro.traces.formats.open_trace`) is stream-copied to
+the payload once and each worker re-opens it as a chunked stream, so the
+parallel path never materializes a huge trace either. Factories must be
+picklable — module-level callables, classes, or ``functools.partial`` of
+those; lambdas and closures trigger the serial fallback.
 
 Worker count resolution (``resolve_max_workers``): an explicit
 ``max_workers`` argument wins, then the ``REPRO_MAX_WORKERS`` environment
@@ -59,13 +63,15 @@ from repro.obs.progress import ProgressEvent, ProgressReporter
 from repro.obs.trace_log import EVENTS_FILENAME, TraceLog
 from repro.sim.multi_core import MultiCoreResult, run_shared_llc
 from repro.sim.single_core import SingleCoreResult, run_llc
+from repro.traces.stream import TraceStream
 from repro.traces.trace import Trace
 
 #: Environment variable overriding the default worker count.
 ENV_MAX_WORKERS = "REPRO_MAX_WORKERS"
 
-#: Per-worker-process memo of loaded trace payloads (path -> Trace).
-_WORKER_TRACES: dict[str, Trace] = {}
+#: Per-worker-process memo of loaded trace payloads (path -> Trace or
+#: re-iterable TraceStream).
+_WORKER_TRACES: dict[str, Trace | TraceStream] = {}
 
 
 def resolve_max_workers(max_workers: int | None = None) -> int:
@@ -93,11 +99,21 @@ def _pool_context():
     return None
 
 
-def _load_packed_trace(path: str) -> Trace:
-    """Load (and per-process memoize) one packed trace payload."""
+def _load_packed_trace(path: str, as_stream: bool = False) -> Trace | TraceStream:
+    """Load (and per-process memoize) one packed trace payload.
+
+    ``as_stream=True`` opens the payload as a re-iterable chunked
+    :class:`TraceStream` instead of materializing it — the worker-side
+    half of the streaming parallel path.
+    """
     trace = _WORKER_TRACES.get(path)
     if trace is None:
-        trace = Trace.load(path)
+        if as_stream:
+            from repro.traces.formats import open_trace
+
+            trace = open_trace(path, format="native")
+        else:
+            trace = Trace.load(path)
         _WORKER_TRACES[path] = trace
     return trace
 
@@ -110,9 +126,10 @@ def _run_packed_task(
     timing: TimingModel | None,
     engine: str,
     manifest_dir: str | None,
+    as_stream: bool = False,
 ):
     """Worker entry: one simulation against the shared packed trace."""
-    trace = _load_packed_trace(trace_path)
+    trace = _load_packed_trace(trace_path, as_stream=as_stream)
     return key, run_llc(
         trace,
         factory(),
@@ -321,7 +338,7 @@ def _finish_grid(
 
 
 def run_matrix(
-    trace: Trace,
+    trace: Trace | TraceStream,
     factories: dict,
     geometry: CacheGeometry,
     timing: TimingModel | None = None,
@@ -333,7 +350,11 @@ def run_matrix(
     """Run a trace x policy-factory matrix, in parallel when possible.
 
     Args:
-        trace: the access stream every task simulates.
+        trace: the access stream every task simulates — an in-memory
+            :class:`Trace`, or a chunked :class:`TraceStream` (e.g. an
+            external trace file): the stream is copied once to a native
+            payload and every worker re-opens it chunked, so even the
+            parallel path stays O(chunk) per process.
         factories: {key: zero-arg policy factory}; keys are preserved in
             the result dict, insertion order retained.
         geometry / timing / engine: forwarded to :func:`run_llc`.
@@ -387,13 +408,28 @@ def run_matrix(
             pickle.dumps([factory for _, factory in items])
         except Exception:
             use_pool = False
+    stream_source = isinstance(trace, TraceStream)
     if use_pool:
 
         def write_payloads(payload_dir: Path) -> list[tuple]:
-            trace_path = str(payload_dir / "trace.npz")
-            trace.save(trace_path)
+            trace_path = str(payload_dir / "trace.trz")
+            if stream_source:
+                from repro.traces.formats import write_stream
+
+                write_stream(trace, trace_path, format="native")
+            else:
+                trace.save(trace_path)
             return [
-                (trace_path, key, factory, geometry, timing, engine, manifest_arg)
+                (
+                    trace_path,
+                    key,
+                    factory,
+                    geometry,
+                    timing,
+                    engine,
+                    manifest_arg,
+                    stream_source,
+                )
                 for key, factory in items
             ]
 
@@ -409,6 +445,10 @@ def run_matrix(
 
     def sweep_manifest(obs: _GridObserver) -> Manifest:
         wall = perf_counter() - start
+        # Per-cell manifests carry the exact stream fingerprint; the
+        # sweep-level record avoids re-scanning a file-backed stream.
+        fingerprint = None if stream_source else trace_fingerprint(trace)
+        length = (trace.length or 0) if stream_source else len(trace)
         return Manifest(
             kind="matrix",
             workload=trace.name,
@@ -420,11 +460,11 @@ def run_matrix(
                 "line_size": geometry.line_size,
                 "workers": workers,
             },
-            trace_fingerprint=trace_fingerprint(trace),
+            trace_fingerprint=fingerprint,
             git_sha=_git_sha(),
             wall_time_s=wall,
-            accesses=len(trace) * len(items),
-            accesses_per_sec=(len(trace) * len(items)) / wall if wall > 0 else 0.0,
+            accesses=length * len(items),
+            accesses_per_sec=(length * len(items)) / wall if wall > 0 else 0.0,
             tasks=obs.task_records(),
             failures=list(obs.failures),
         )
@@ -448,7 +488,7 @@ def run_mix_matrix(
 
     The multi-core counterpart of :func:`run_matrix`: each task is one
     :func:`repro.sim.multi_core.run_shared_llc` call. Per-thread traces
-    are written once per mix as packed ``.npz`` payloads and memoized per
+    are written once per mix as packed native payloads and memoized per
     worker process, so an 80-mix x 4-policy Fig. 12 grid ships each trace
     a handful of times rather than 4x80 times.
 
@@ -523,7 +563,7 @@ def run_mix_matrix(
             for slot, (mix_key, traces) in enumerate(mixes.items()):
                 paths = []
                 for thread, trace in enumerate(traces):
-                    path = str(payload_dir / f"mix{slot}-t{thread}.npz")
+                    path = str(payload_dir / f"mix{slot}-t{thread}.trz")
                     trace.save(path)
                     paths.append(path)
                 mix_paths[mix_key] = paths

@@ -4,6 +4,14 @@
 the paper's experiments, where traces stand for the post-L1/L2 access
 stream. ``run_hierarchy`` drives the full three-level hierarchy for
 end-to-end studies.
+
+Both drivers accept either an in-memory :class:`Trace` or a chunked
+:class:`repro.traces.stream.TraceStream` (e.g. from
+:func:`repro.traces.formats.open_trace`): chunks are fed through the
+selected engine back to back, and because all simulation state lives in
+the cache and policy objects, the accumulated statistics are
+bit-identical to a one-shot run of the concatenated trace while peak
+memory stays O(chunk) (``tests/test_streaming.py``).
 """
 
 from __future__ import annotations
@@ -17,9 +25,10 @@ from repro.memory.fastpath import run_hierarchy_trace, run_trace
 from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.stats import OccupancyTracker
 from repro.memory.timing import TimingModel
-from repro.obs.manifest import Manifest, trace_fingerprint
+from repro.obs.manifest import FingerprintAccumulator, Manifest, trace_fingerprint
 from repro.obs.manifest import git_sha as _git_sha
 from repro.obs.telemetry import TELEMETRY
+from repro.traces.stream import TraceStream, as_stream
 from repro.traces.trace import Trace
 
 #: Engine modes accepted by the drivers: "fast" (batched kernel, the
@@ -34,10 +43,18 @@ def _check_engine(engine: str) -> None:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
 
 
+def _stream_fingerprint(stream: TraceStream) -> str:
+    """Fingerprint a stream by re-scanning its chunks (O(chunk) memory)."""
+    accumulator = FingerprintAccumulator()
+    for chunk in stream.chunks():
+        accumulator.update(chunk)
+    return accumulator.digest(stream.name, stream.instructions_per_access)
+
+
 def emit_run_manifest(
     manifest_dir: str | os.PathLike,
     kind: str,
-    trace: Trace,
+    trace: Trace | TraceStream,
     policy_name: str,
     geometry: CacheGeometry,
     engine: str,
@@ -45,6 +62,7 @@ def emit_run_manifest(
     wall_time_s: float,
     run_label: str | None = None,
     run_meta: dict | None = None,
+    fingerprint: str | None = None,
 ) -> None:
     """Write one per-run provenance manifest (see ``repro.obs.manifest``).
 
@@ -52,9 +70,17 @@ def emit_run_manifest(
     drivers that derive a cell from an existing
     :class:`SingleCoreResult` (e.g. Fig. 10's SPDP-B column, the best
     point of a sweep) and still want it represented in the manifest
-    directory.
+    directory. ``fingerprint`` lets a streaming run pass the digest it
+    accumulated while simulating (avoiding a second pass over the file);
+    when omitted it is computed here — for a :class:`TraceStream` that
+    means one extra chunked scan.
     """
     meta = dict(run_meta or {})
+    if fingerprint is None:
+        if isinstance(trace, TraceStream):
+            fingerprint = _stream_fingerprint(trace)
+        else:
+            fingerprint = trace_fingerprint(trace)
     Manifest(
         kind=kind,
         workload=trace.name,
@@ -67,7 +93,7 @@ def emit_run_manifest(
             "ways": geometry.ways,
             "line_size": geometry.line_size,
         },
-        trace_fingerprint=trace_fingerprint(trace),
+        trace_fingerprint=fingerprint,
         git_sha=_git_sha(),
         wall_time_s=wall_time_s,
         accesses=result.accesses,
@@ -77,6 +103,7 @@ def emit_run_manifest(
             "hits": result.hits,
             "misses": result.misses,
             "bypasses": result.bypasses,
+            "evictions": result.evictions,
             "instructions": result.instructions,
         },
         metrics={
@@ -101,6 +128,7 @@ class SingleCoreResult:
     bypasses: int
     instructions: int
     ipc: float
+    evictions: int = 0
     extra: dict = field(default_factory=dict)
 
     @property
@@ -122,7 +150,7 @@ class SingleCoreResult:
 
 
 def run_llc(
-    trace: Trace,
+    trace: Trace | TraceStream,
     policy,
     geometry: CacheGeometry,
     timing: TimingModel | None = None,
@@ -136,7 +164,10 @@ def run_llc(
     """Drive ``trace`` into an LLC governed by ``policy``.
 
     Args:
-        trace: LLC-level access stream.
+        trace: LLC-level access stream — an in-memory :class:`Trace`
+            (simulated in one shot, exactly as before) or a chunked
+            :class:`TraceStream` (simulated chunk by chunk in O(chunk)
+            memory, with bit-identical statistics).
         policy: a fresh (unattached) replacement policy instance.
         geometry: LLC shape.
         timing: IPC model; defaults to :class:`TimingModel` defaults.
@@ -146,7 +177,8 @@ def run_llc(
         manifest_dir: when set, write a provenance manifest for this run
             into the directory (see :mod:`repro.obs.manifest`). Never
             read from the environment here — nested helper runs must not
-            emit surprise manifests.
+            emit surprise manifests. Streaming runs fingerprint their
+            chunks while simulating — no second pass over the file.
         run_label: display label recorded in the manifest (e.g. the
             sweep cell key); defaults to the policy class name.
         run_meta: extra JSON-native context for the manifest; a ``seed``
@@ -155,18 +187,25 @@ def run_llc(
     _check_engine(engine)
     timing = timing or TimingModel()
     start = perf_counter()
+    stream = as_stream(trace)
     cache = SetAssociativeCache(geometry, policy)
     tracker = None
     if track_occupancy:
         tracker = OccupancyTracker(short_threshold=occupancy_threshold)
         cache.observers.append(tracker)
-    if engine == "fast":
-        run_trace(cache, trace)
-    else:
-        for access in trace:
-            cache.access(access)
+    fingerprinter = FingerprintAccumulator() if manifest_dir is not None else None
+    total_accesses = 0
+    for chunk in stream.chunks():
+        if engine == "fast":
+            run_trace(cache, chunk)
+        else:
+            for access in chunk:
+                cache.access(access)
+        total_accesses += len(chunk)
+        if fingerprinter is not None:
+            fingerprinter.update(chunk)
     stats = cache.stats
-    instructions = trace.instruction_count
+    instructions = int(round(total_accesses * stream.instructions_per_access))
     ipc = timing.ipc(
         instructions,
         l2_hits=0,
@@ -185,20 +224,21 @@ def run_llc(
     if hasattr(policy, "current_pd"):
         extra["current_pd"] = policy.current_pd
     result = SingleCoreResult(
-        name=trace.name,
+        name=stream.name,
         accesses=stats.accesses,
         hits=stats.hits,
         misses=stats.misses,
         bypasses=stats.bypasses,
         instructions=instructions,
         ipc=ipc,
+        evictions=stats.evictions,
         extra=extra,
     )
     if manifest_dir is not None:
         emit_run_manifest(
             manifest_dir,
             "llc",
-            trace,
+            stream,
             type(policy).__name__,
             geometry,
             engine,
@@ -206,12 +246,15 @@ def run_llc(
             perf_counter() - start,
             run_label,
             run_meta,
+            fingerprint=fingerprinter.digest(
+                stream.name, stream.instructions_per_access
+            ),
         )
     return result
 
 
 def run_hierarchy(
-    trace: Trace,
+    trace: Trace | TraceStream,
     llc_policy,
     machine=None,
     timing: TimingModel | None = None,
@@ -222,6 +265,8 @@ def run_hierarchy(
 ) -> SingleCoreResult:
     """Drive ``trace`` through L1 -> L2 -> LLC (Table 1 defaults).
 
+    Accepts an in-memory :class:`Trace` or a chunked
+    :class:`TraceStream` (the :func:`run_llc` streaming contract).
     ``manifest_dir`` / ``run_label`` / ``run_meta`` follow the
     :func:`run_llc` contract (manifest ``kind`` is ``"hierarchy"``).
     """
@@ -231,18 +276,25 @@ def run_hierarchy(
     machine = machine or MachineConfig()
     start = perf_counter()
     timing = timing or machine.timing()
+    stream = as_stream(trace)
     hierarchy = CacheHierarchy(
         llc_policy,
         l1_geometry=machine.l1d,
         l2_geometry=machine.l2,
         llc_geometry=machine.llc,
     )
-    if engine == "fast":
-        run_hierarchy_trace(hierarchy, trace)
-    else:
-        hierarchy.run(iter(trace))
+    fingerprinter = FingerprintAccumulator() if manifest_dir is not None else None
+    total_accesses = 0
+    for chunk in stream.chunks():
+        if engine == "fast":
+            run_hierarchy_trace(hierarchy, chunk)
+        else:
+            hierarchy.run(iter(chunk))
+        total_accesses += len(chunk)
+        if fingerprinter is not None:
+            fingerprinter.update(chunk)
     result = hierarchy.result
-    instructions = trace.instruction_count
+    instructions = int(round(total_accesses * stream.instructions_per_access))
     ipc = timing.ipc(
         instructions,
         l2_hits=result.l2_hits,
@@ -250,7 +302,7 @@ def run_hierarchy(
         memory_accesses=result.memory_accesses,
     )
     outcome = SingleCoreResult(
-        name=trace.name,
+        name=stream.name,
         accesses=result.accesses,
         hits=result.l1_hits + result.l2_hits + result.llc_hits,
         misses=result.memory_accesses,
@@ -263,7 +315,7 @@ def run_hierarchy(
         emit_run_manifest(
             manifest_dir,
             "hierarchy",
-            trace,
+            stream,
             type(llc_policy).__name__,
             machine.llc,
             engine,
@@ -271,6 +323,9 @@ def run_hierarchy(
             perf_counter() - start,
             run_label,
             run_meta,
+            fingerprint=fingerprinter.digest(
+                stream.name, stream.instructions_per_access
+            ),
         )
     return outcome
 

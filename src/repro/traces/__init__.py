@@ -1,4 +1,5 @@
-"""Trace containers and offline reuse-distance analysis."""
+"""Trace containers, streaming ingestion, and offline reuse-distance
+analysis."""
 
 from repro.traces.analysis import (
     fraction_below,
@@ -7,16 +8,34 @@ from repro.traces.analysis import (
     stack_distances,
     working_set_size,
 )
+from repro.traces.formats import (
+    TraceFormatError,
+    convert_trace,
+    detect_format,
+    open_trace,
+    trace_info,
+    write_stream,
+)
 from repro.traces.io import load_trace, save_trace
+from repro.traces.stream import DEFAULT_CHUNK_SIZE, TraceStream, as_stream
 from repro.traces.trace import Trace
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "Trace",
+    "TraceFormatError",
+    "TraceStream",
+    "as_stream",
+    "convert_trace",
+    "detect_format",
     "fraction_below",
     "load_trace",
+    "open_trace",
     "reuse_distance_distribution",
     "reuse_distances",
     "save_trace",
     "stack_distances",
+    "trace_info",
     "working_set_size",
+    "write_stream",
 ]

@@ -1,0 +1,114 @@
+"""ChampSim-style binary trace records.
+
+Fixed 24-byte little-endian records, one per LLC access::
+
+    address    int64
+    pc         int64
+    thread_id  u32
+    kind       u32   (0 = read; other values reserved, preserved on copy)
+
+This mirrors the flat record style of ChampSim's published trace suites
+(fixed-width structs, optionally gzip-compressed) reduced to the fields
+our simulators consume. Files whose size is not a multiple of the record
+size fail with :class:`TraceFormatError` — a truncated download never
+silently simulates short.
+"""
+
+from __future__ import annotations
+
+import gzip
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.formats.errors import TraceFormatError
+from repro.traces.trace import Trace
+
+FORMAT_NAME = "champsim"
+SUFFIXES = (".champsim", ".champsim.gz", ".ctrace", ".ctrace.gz")
+
+#: numpy dtype of one record (little-endian, 24 bytes).
+RECORD_DTYPE = np.dtype(
+    [("address", "<i8"), ("pc", "<i8"), ("thread_id", "<u4"), ("kind", "<u4")]
+)
+RECORD_SIZE = RECORD_DTYPE.itemsize
+
+
+def _open(path: Path):
+    """The record byte stream (transparently gunzipped)."""
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return gzip.open(path, "rb")
+    return open(path, "rb")
+
+
+def read_chunks(path: str | Path, chunk_size: int = 1_000_000) -> Iterator[Trace]:
+    """Yield ``chunk_size``-record :class:`Trace` chunks from ``path``.
+
+    Raises :class:`TraceFormatError` when the file ends mid-record.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    path = Path(path)
+    name = path.name.split(".")[0] or "champsim"
+    try:
+        with _open(path) as fh:
+            while True:
+                raw = fh.read(chunk_size * RECORD_SIZE)
+                if not raw:
+                    return
+                if len(raw) % RECORD_SIZE:
+                    raise TraceFormatError(
+                        f"{path}: truncated champsim trace ({len(raw) % RECORD_SIZE}"
+                        f" trailing bytes are not a whole {RECORD_SIZE}-byte record)"
+                    )
+                records = np.frombuffer(raw, dtype=RECORD_DTYPE)
+                chunk = Trace.__new__(Trace)
+                chunk.addresses = records["address"].astype(np.int64)
+                chunk.pcs = records["pc"].astype(np.int64)
+                chunk.thread_ids = records["thread_id"].astype(np.int64)
+                chunk.name = name
+                chunk.instructions_per_access = 1.0
+                yield chunk
+    except (OSError, EOFError) as exc:
+        raise TraceFormatError(f"{path}: unreadable champsim trace: {exc}") from exc
+
+
+def write_chunks(
+    path: str | Path,
+    chunks: Iterable[Trace],
+    name: str = "",
+    instructions_per_access: float = 1.0,
+) -> int:
+    """Write chunks as champsim records; returns the total access count.
+
+    The format carries no stream metadata, so ``name`` and
+    ``instructions_per_access`` are accepted (writer-interface
+    uniformity) but not persisted. Compresses when the path ends in
+    ``.gz``.
+    """
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    total = 0
+    with opener(path, "wb") as fh:
+        for chunk in chunks:
+            records = np.empty(len(chunk), dtype=RECORD_DTYPE)
+            records["address"] = chunk.addresses
+            records["pc"] = chunk.pcs
+            records["thread_id"] = chunk.thread_ids.astype(np.uint32)
+            records["kind"] = 0
+            fh.write(records.tobytes())
+            total += len(chunk)
+    return total
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "RECORD_DTYPE",
+    "RECORD_SIZE",
+    "SUFFIXES",
+    "read_chunks",
+    "write_chunks",
+]

@@ -1,0 +1,178 @@
+"""Simple CSV/text trace format.
+
+One access per line: ``address[,pc[,thread_id]]``. Values are decimal or
+``0x``-prefixed hex integers; omitted columns default to zero. Blank
+lines and ``#`` comments are skipped. Files ending in ``.gz`` (or
+starting with the gzip magic) are transparently decompressed.
+
+The human-readable on-ramp: any trace a script or spreadsheet can dump
+becomes simulatable with ``repro trace convert``. Malformed lines raise
+:class:`TraceFormatError` with the offending line number — never a
+silent partial read.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import re
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.formats.errors import TraceFormatError
+from repro.traces.trace import Trace
+
+FORMAT_NAME = "csv"
+SUFFIXES = (".csv", ".csv.gz", ".txt", ".txt.gz")
+
+#: The optional metadata comment ``write_chunks`` emits (and
+#: ``read_metadata`` parses back, closing the save -> load -> save loop).
+_META_RE = re.compile(
+    r"^#\s*name=(?P<name>.*) instructions_per_access=(?P<ipa>\S+)\s*$"
+)
+
+
+def read_metadata(path: str | Path) -> dict:
+    """Stream metadata from the leading comment lines, when present.
+
+    Returns a (possibly empty) subset of ``{"name",
+    "instructions_per_access"}`` — CSV files written by other tools
+    simply have no metadata and fall back to filename defaults.
+    """
+    path = Path(path)
+    meta: dict = {}
+    try:
+        with _open_text(path) as fh:
+            for line in fh:
+                row = line.strip()
+                if not row:
+                    continue
+                if not row.startswith("#"):
+                    break
+                match = _META_RE.match(row)
+                if match:
+                    meta["name"] = match.group("name")
+                    try:
+                        meta["instructions_per_access"] = float(match.group("ipa"))
+                    except ValueError:
+                        pass
+                    break
+    except (OSError, EOFError, UnicodeDecodeError):
+        return {}
+    return meta
+
+
+def _open_text(path: Path):
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, encoding="utf-8")
+
+
+def _parse_int(field: str, path: Path, line_number: int) -> int:
+    field = field.strip()
+    try:
+        return int(field, 0)  # accepts decimal and 0x-prefixed hex
+    except ValueError:
+        raise TraceFormatError(
+            f"{path}:{line_number}: not an integer field: {field!r}"
+        ) from None
+
+
+def read_chunks(path: str | Path, chunk_size: int = 1_000_000) -> Iterator[Trace]:
+    """Yield ``chunk_size``-line :class:`Trace` chunks from a CSV trace."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    path = Path(path)
+    name = path.name.split(".")[0] or "csv"
+    addresses: list[int] = []
+    pcs: list[int] = []
+    thread_ids: list[int] = []
+
+    def flush() -> Trace:
+        chunk = Trace.__new__(Trace)
+        chunk.addresses = np.asarray(addresses, dtype=np.int64)
+        chunk.pcs = np.asarray(pcs, dtype=np.int64)
+        chunk.thread_ids = np.asarray(thread_ids, dtype=np.int64)
+        chunk.name = name
+        chunk.instructions_per_access = 1.0
+        addresses.clear()
+        pcs.clear()
+        thread_ids.clear()
+        return chunk
+
+    try:
+        with _open_text(path) as fh:
+            for line_number, line in enumerate(fh, start=1):
+                row = line.strip()
+                if not row or row.startswith("#"):
+                    continue
+                fields = row.split(",")
+                if len(fields) > 3:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: expected at most 3 columns "
+                        f"(address,pc,thread_id), got {len(fields)}"
+                    )
+                addresses.append(_parse_int(fields[0], path, line_number))
+                pcs.append(
+                    _parse_int(fields[1], path, line_number)
+                    if len(fields) > 1
+                    else 0
+                )
+                thread_ids.append(
+                    _parse_int(fields[2], path, line_number)
+                    if len(fields) > 2
+                    else 0
+                )
+                if len(addresses) >= chunk_size:
+                    yield flush()
+        if addresses:
+            yield flush()
+    except (OSError, EOFError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(f"{path}: unreadable csv trace: {exc}") from exc
+
+
+def write_chunks(
+    path: str | Path,
+    chunks: Iterable[Trace],
+    name: str = "",
+    instructions_per_access: float = 1.0,
+) -> int:
+    """Write chunks as CSV lines; returns the total access count.
+
+    Emits a ``#`` header recording the stream metadata (readers skip it;
+    humans and ``git diff`` appreciate it). Compresses when the path
+    ends in ``.gz``.
+    """
+    path = Path(path)
+    total = 0
+    if path.suffix == ".gz":
+        fh = io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+    else:
+        fh = open(path, "w", encoding="utf-8")
+    with fh:
+        fh.write("# address,pc,thread_id\n")
+        if name:
+            fh.write(f"# name={name} instructions_per_access="
+                     f"{float(instructions_per_access):g}\n")
+        for chunk in chunks:
+            for address, pc, tid in zip(
+                chunk.addresses.tolist(),
+                chunk.pcs.tolist(),
+                chunk.thread_ids.tolist(),
+            ):
+                fh.write(f"{address},{pc},{tid}\n")
+            total += len(chunk)
+    return total
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "SUFFIXES",
+    "read_chunks",
+    "read_metadata",
+    "write_chunks",
+]

@@ -1,0 +1,14 @@
+"""Shared exception type for the external-trace format layer."""
+
+from __future__ import annotations
+
+
+class TraceFormatError(ValueError):
+    """A trace file is unreadable, truncated, or structurally corrupt.
+
+    Raised by every format reader instead of silently yielding a partial
+    trace; the message always names the file and what failed.
+    """
+
+
+__all__ = ["TraceFormatError"]

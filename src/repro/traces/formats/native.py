@@ -1,0 +1,198 @@
+"""The native on-disk trace format: gzip-compressed chunked columns.
+
+Layout (all integers little-endian, inside one gzip stream)::
+
+    magic      8 bytes  b"REPROTRC"
+    version    1 byte   (currently 1)
+    header_len u32      length of the JSON header in bytes
+    header     JSON     {"name": str, "instructions_per_access": float}
+    blocks     repeated:
+        count      u64      accesses in this block (> 0)
+        addresses  count * 8 bytes (int64)
+        pcs        count * 8 bytes (int64)
+        thread_ids count * 8 bytes (int64)
+    terminator:
+        count      u64 = 0
+        total      u64      total accesses across all blocks
+
+Blocks are written per chunk, so a multi-hundred-million-access trace is
+produced and consumed in O(chunk) memory. The explicit terminator (and
+its redundant total) means a file truncated anywhere — even exactly on a
+block boundary — fails loudly with :class:`TraceFormatError` instead of
+silently yielding a partial trace; gzip's own CRC catches mid-stream
+corruption.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.formats.errors import TraceFormatError
+from repro.traces.trace import Trace
+
+FORMAT_NAME = "native"
+MAGIC = b"REPROTRC"
+VERSION = 1
+SUFFIXES = (".trz",)
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def _read_exact(fh, size: int, path, what: str) -> bytes:
+    data = fh.read(size)
+    if len(data) != size:
+        raise TraceFormatError(
+            f"{path}: truncated native trace ({what}: expected {size} bytes, "
+            f"got {len(data)})"
+        )
+    return data
+
+
+def matches_magic(prefix: bytes) -> bool:
+    """Whether the *decompressed* prefix starts a native trace."""
+    return prefix.startswith(MAGIC)
+
+
+def read_header(path: str | Path) -> dict:
+    """The stream-level metadata of a native trace file.
+
+    Returns ``{"name", "instructions_per_access", "version"}`` without
+    touching the data blocks.
+    """
+    path = Path(path)
+    try:
+        with gzip.open(path, "rb") as fh:
+            magic = _read_exact(fh, len(MAGIC), path, "magic")
+            if magic != MAGIC:
+                raise TraceFormatError(
+                    f"{path}: not a native trace (bad magic {magic!r})"
+                )
+            (version,) = _read_exact(fh, 1, path, "version")
+            if version != VERSION:
+                raise TraceFormatError(
+                    f"{path}: unsupported native trace version {version} "
+                    f"(this build reads version {VERSION})"
+                )
+            (header_len,) = _U32.unpack(_read_exact(fh, 4, path, "header length"))
+            try:
+                header = json.loads(_read_exact(fh, header_len, path, "header"))
+            except ValueError as exc:
+                raise TraceFormatError(f"{path}: corrupt header JSON: {exc}") from exc
+    except (OSError, EOFError) as exc:
+        raise TraceFormatError(f"{path}: unreadable native trace: {exc}") from exc
+    header.setdefault("name", path.stem)
+    header.setdefault("instructions_per_access", 1.0)
+    header["version"] = version
+    return header
+
+
+def read_chunks(
+    path: str | Path, chunk_size: int | None = None
+) -> Iterator[Trace]:
+    """Yield a native trace's blocks as :class:`Trace` chunks.
+
+    Chunks follow the file's own block boundaries (the writer's chunk
+    size); ``chunk_size`` is accepted for interface uniformity but does
+    not re-split blocks. Raises :class:`TraceFormatError` on truncation,
+    a missing terminator, or a terminator/total mismatch — never a
+    silent partial read.
+    """
+    path = Path(path)
+    header = read_header(path)
+    name = header["name"]
+    ipa = header["instructions_per_access"]
+    try:
+        with gzip.open(path, "rb") as fh:
+            # Skip past the header (re-parse is cheap; one seek-free pass).
+            _read_exact(fh, len(MAGIC) + 1, path, "magic")
+            (header_len,) = _U32.unpack(_read_exact(fh, 4, path, "header length"))
+            _read_exact(fh, header_len, path, "header")
+            total = 0
+            while True:
+                (count,) = _U64.unpack(_read_exact(fh, 8, path, "block count"))
+                if count == 0:
+                    (declared,) = _U64.unpack(
+                        _read_exact(fh, 8, path, "trailer total")
+                    )
+                    if declared != total:
+                        raise TraceFormatError(
+                            f"{path}: corrupt native trace (trailer declares "
+                            f"{declared} accesses, read {total})"
+                        )
+                    if fh.read(1):
+                        raise TraceFormatError(
+                            f"{path}: trailing data after native trace terminator"
+                        )
+                    return
+                columns = []
+                for label in ("addresses", "pcs", "thread_ids"):
+                    raw = _read_exact(fh, count * 8, path, f"block {label}")
+                    columns.append(np.frombuffer(raw, dtype="<i8").astype(np.int64))
+                total += count
+                chunk = Trace.__new__(Trace)
+                chunk.addresses, chunk.pcs, chunk.thread_ids = columns
+                chunk.name = name
+                chunk.instructions_per_access = ipa
+                yield chunk
+    except (OSError, EOFError) as exc:
+        raise TraceFormatError(f"{path}: unreadable native trace: {exc}") from exc
+
+
+def write_chunks(
+    path: str | Path,
+    chunks: Iterable[Trace],
+    name: str,
+    instructions_per_access: float = 1.0,
+) -> int:
+    """Write chunks to ``path`` as one native trace; returns the total
+    access count. Consumes the iterable once, in O(chunk) memory."""
+    path = Path(path)
+    header = json.dumps(
+        {"name": name, "instructions_per_access": float(instructions_per_access)}
+    ).encode("utf-8")
+    total = 0
+    with gzip.open(path, "wb") as fh:
+        fh.write(MAGIC)
+        fh.write(bytes([VERSION]))
+        fh.write(_U32.pack(len(header)))
+        fh.write(header)
+        for chunk in chunks:
+            count = len(chunk)
+            if count == 0:
+                continue
+            fh.write(_U64.pack(count))
+            fh.write(np.ascontiguousarray(chunk.addresses, dtype="<i8").tobytes())
+            fh.write(np.ascontiguousarray(chunk.pcs, dtype="<i8").tobytes())
+            fh.write(np.ascontiguousarray(chunk.thread_ids, dtype="<i8").tobytes())
+            total += count
+        fh.write(_U64.pack(0))
+        fh.write(_U64.pack(total))
+    return total
+
+
+def scan_length(path: str | Path) -> int:
+    """Total access count of a native trace (full validated scan)."""
+    total = 0
+    for chunk in read_chunks(path):
+        total += len(chunk)
+    return total
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "MAGIC",
+    "SUFFIXES",
+    "VERSION",
+    "matches_magic",
+    "read_chunks",
+    "read_header",
+    "scan_length",
+    "write_chunks",
+]

@@ -1,0 +1,141 @@
+"""Chunked trace streams: iterate huge traces in O(chunk) memory.
+
+A :class:`TraceStream` is a *re-iterable* sequence of :class:`Trace`
+chunks plus the stream-level metadata a simulation driver needs (name,
+instructions-per-access dilution, total length when known). It is the
+common currency between the external-format readers in
+:mod:`repro.traces.formats` and the simulation entry points
+(:func:`repro.sim.single_core.run_llc` and friends), which accept either
+a plain :class:`Trace` or a stream and accumulate statistics across
+chunks identically to the one-shot path.
+
+Chunking is semantics-free by construction: the fast-path kernels and
+the reference loop both carry all simulation state in the cache and
+policy objects, so driving N chunks through them produces bit-identical
+statistics to driving the concatenated trace once
+(``tests/test_streaming.py`` and ``tests/test_conformance.py`` pin
+this).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.traces.trace import Trace
+
+#: Default accesses per chunk for file-backed streams (~24 MB of column
+#: data per chunk at three int64 columns).
+DEFAULT_CHUNK_SIZE = 1_000_000
+
+
+class TraceStream:
+    """A re-iterable stream of :class:`Trace` chunks.
+
+    Args:
+        chunk_factory: zero-arg callable returning a fresh iterator of
+            :class:`Trace` chunks. Re-invoked on every :meth:`chunks`
+            call, so file-backed streams re-open their file and the
+            stream can be consumed multiple times (e.g. once per policy
+            of a sweep).
+        name: workload name recorded in results and manifests.
+        instructions_per_access: dynamic-instruction dilution, as on
+            :class:`Trace`.
+        length: total access count when known up front (in-memory and
+            native-format sources), else None (single-pass formats).
+        source: originating file path for file-backed streams, else None.
+        format: format name for file-backed streams, else None.
+    """
+
+    def __init__(
+        self,
+        chunk_factory: Callable[[], Iterator[Trace]],
+        name: str = "stream",
+        instructions_per_access: float = 1.0,
+        length: int | None = None,
+        source=None,
+        format: str | None = None,
+    ) -> None:
+        self._chunk_factory = chunk_factory
+        self.name = name
+        self.instructions_per_access = float(instructions_per_access)
+        self.length = length
+        self.source = source
+        self.format = format
+
+    def chunks(self) -> Iterator[Trace]:
+        """A fresh iterator over the stream's chunks."""
+        return iter(self._chunk_factory())
+
+    def materialize(self) -> Trace:
+        """Concatenate every chunk into one in-memory :class:`Trace`.
+
+        Defeats the purpose of streaming for huge traces — intended for
+        small traces and for tests/tools that need random access.
+        """
+        import numpy as np
+
+        addresses, pcs, thread_ids = [], [], []
+        for chunk in self.chunks():
+            addresses.append(chunk.addresses)
+            pcs.append(chunk.pcs)
+            thread_ids.append(chunk.thread_ids)
+        trace = Trace.__new__(Trace)
+        trace.addresses = (
+            np.concatenate(addresses) if addresses else np.empty(0, dtype=np.int64)
+        )
+        trace.pcs = np.concatenate(pcs) if pcs else np.empty(0, dtype=np.int64)
+        trace.thread_ids = (
+            np.concatenate(thread_ids) if thread_ids else np.empty(0, dtype=np.int64)
+        )
+        trace.name = self.name
+        trace.instructions_per_access = self.instructions_per_access
+        return trace
+
+    @classmethod
+    def from_trace(cls, trace: Trace, chunk_size: int | None = None) -> TraceStream:
+        """Wrap an in-memory trace as a stream.
+
+        With ``chunk_size=None`` the stream yields the trace itself as a
+        single chunk (no copy, no per-chunk overhead — the one-shot
+        path). Otherwise it yields zero-copy :meth:`Trace.slice` views of
+        ``chunk_size`` accesses each.
+        """
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+
+        def chunk_factory() -> Iterator[Trace]:
+            if chunk_size is None or chunk_size >= len(trace):
+                yield trace
+                return
+            for start in range(0, len(trace), chunk_size):
+                yield trace.slice(start, start + chunk_size)
+
+        return cls(
+            chunk_factory,
+            name=trace.name,
+            instructions_per_access=trace.instructions_per_access,
+            length=len(trace),
+        )
+
+    def __repr__(self) -> str:
+        size = "?" if self.length is None else str(self.length)
+        return f"TraceStream(name={self.name!r}, accesses={size})"
+
+
+def as_stream(trace_or_stream, chunk_size: int | None = None) -> TraceStream:
+    """Coerce a :class:`Trace` or :class:`TraceStream` to a stream.
+
+    A stream passes through unchanged (``chunk_size`` is ignored — the
+    stream already owns its chunking); a trace is wrapped via
+    :meth:`TraceStream.from_trace`.
+    """
+    if isinstance(trace_or_stream, TraceStream):
+        return trace_or_stream
+    if isinstance(trace_or_stream, Trace):
+        return TraceStream.from_trace(trace_or_stream, chunk_size)
+    raise TypeError(
+        f"expected Trace or TraceStream, got {type(trace_or_stream).__name__}"
+    )
+
+
+__all__ = ["DEFAULT_CHUNK_SIZE", "TraceStream", "as_stream"]

@@ -126,15 +126,17 @@ class Trace:
         return shifted
 
     def save(self, path) -> None:
-        """Write this trace to ``path`` as a compressed ``.npz`` archive
-        (the packed payload format the parallel runner ships to workers)."""
+        """Write this trace to ``path`` in the native compressed format
+        (shared by the workload cache and the parallel runner's packed
+        payloads — see :mod:`repro.traces.formats.native`)."""
         from repro.traces.io import save_trace
 
         save_trace(self, path)
 
     @classmethod
     def load(cls, path) -> Trace:
-        """Read a trace previously written by :meth:`save`."""
+        """Read a trace previously written by :meth:`save` (legacy
+        ``.npz`` archives are also accepted)."""
         from repro.traces.io import load_trace
 
         return load_trace(path)

@@ -2,15 +2,22 @@
 
 Workload generation is pure: (generator name, generator version, params,
 seed) fully determines the emitted arrays. :func:`cached_trace` memoizes
-that function to compressed ``.npz`` archives so repeated benchmark and
-sweep runs stop regenerating identical streams — regeneration of the
-SPEC-like profiles is the dominant startup cost of every figure driver.
+that function to compressed archives in the native trace format
+(``.trz``, :mod:`repro.traces.formats.native` — the same format
+``Trace.save`` writes) so repeated benchmark and sweep runs stop
+regenerating identical streams — regeneration of the SPEC-like profiles
+is the dominant startup cost of every figure driver.
 
 The cache key hashes the canonical JSON of (generator, version, params,
 seed). The version tag is part of the key, so bumping a generator's
 ``*_TRACE_VERSION`` constant invalidates every stale entry without any
 cleanup pass. Entries are published atomically (temp file + rename), so
 concurrent sweep workers can share one cache directory.
+
+Legacy entries written by older builds as ``.npz`` archives are still
+honoured: a lookup that misses on ``.trz`` but hits the legacy file
+loads it and migrates it to the native format in place (the old file is
+left for still-running old workers; the key is unchanged).
 
 Caching is off unless a directory is configured: pass ``directory=`` or
 set ``$REPRO_TRACE_CACHE_DIR``. Cached loads are byte-identical to fresh
@@ -31,6 +38,11 @@ from repro.traces.trace import Trace
 
 #: Environment variable naming the cache directory (unset = no caching).
 ENV_TRACE_CACHE_DIR = "REPRO_TRACE_CACHE_DIR"
+
+#: Entry suffixes: the native trace format, and the pre-streaming numpy
+#: archive still readable for migration.
+CACHE_SUFFIX = ".trz"
+LEGACY_CACHE_SUFFIX = ".npz"
 
 
 def trace_cache_dir(directory: str | os.PathLike | None = None) -> Path | None:
@@ -87,16 +99,33 @@ def cached_trace(
         raise NotADirectoryError(
             f"trace cache path {root} exists and is not a directory"
         ) from None
-    path = root / (trace_cache_key(generator, version, params, seed) + ".npz")
+    stem = trace_cache_key(generator, version, params, seed)
+    path = root / (stem + CACHE_SUFFIX)
     if path.exists():
         try:
             return Trace.load(path)
         except (OSError, ValueError, KeyError):
             path.unlink(missing_ok=True)  # corrupt entry: regenerate
+    legacy_path = root / (stem + LEGACY_CACHE_SUFFIX)
+    if legacy_path.exists():
+        try:
+            trace = Trace.load(legacy_path)
+        except (OSError, ValueError, KeyError):
+            legacy_path.unlink(missing_ok=True)  # corrupt legacy: regenerate
+        else:
+            # Migrate in place; keep the legacy file for old workers
+            # still running against this cache directory.
+            _publish(trace, root, path)
+            return trace
     trace = producer()
-    # Atomic publish so concurrent workers never observe partial files.
-    # The temp name must end in .npz (numpy appends it otherwise).
-    handle, temp_path = tempfile.mkstemp(dir=root, suffix=".npz")
+    _publish(trace, root, path)
+    return trace
+
+
+def _publish(trace: Trace, root: Path, path: Path) -> None:
+    """Atomically write one cache entry (temp file + rename), so
+    concurrent workers never observe partial files."""
+    handle, temp_path = tempfile.mkstemp(dir=root, suffix=CACHE_SUFFIX)
     os.close(handle)
     try:
         trace.save(temp_path)
@@ -107,11 +136,12 @@ def cached_trace(
         except OSError:
             pass
         raise
-    return trace
 
 
 __all__ = [
+    "CACHE_SUFFIX",
     "ENV_TRACE_CACHE_DIR",
+    "LEGACY_CACHE_SUFFIX",
     "cached_trace",
     "trace_cache_dir",
     "trace_cache_key",

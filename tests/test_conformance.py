@@ -1,0 +1,210 @@
+"""Cross-engine conformance: reference vs fast vs chunked streaming.
+
+A seeded randomized sweep over (policy x geometry x workload generator)
+asserting that the three ways to drive a simulation — the reference
+per-``Access`` loop, the batched fast-path kernel, and the fast-path
+kernel fed through a chunked :class:`TraceStream` — produce identical
+statistics (hits, misses, evictions, bypasses, instructions). The
+shared-LLC variant additionally pins the thread-freeze rule across the
+one-shot and chunked fast paths.
+
+The full sweep (every registered policy, several seeds) is marked
+``conformance`` + ``slow`` and runs in CI's conformance job; a small
+unmarked smoke subset keeps the default tier-1 gate exercising the
+machinery.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.memory.cache import CacheGeometry
+from repro.policies.base import make_policy, registered_policies
+from repro.policies.belady import BeladyPolicy
+from repro.sim.multi_core import run_shared_llc
+from repro.sim.single_core import run_llc
+from repro.traces.stream import TraceStream
+from repro.traces.trace import Trace
+from repro.workloads.mixes import interleave_traces
+from repro.workloads.streams import (
+    cyclic_loop,
+    random_working_set,
+    sequential_stream,
+    thrash_loop,
+)
+
+#: Policies whose constructors need a thread count (shared-cache only).
+MULTITHREAD = {"pd-partition", "pipp", "ta-drrip", "ucp"}
+
+#: Fields of SingleCoreResult that must agree bit-for-bit across engines.
+RESULT_FIELDS = ("accesses", "hits", "misses", "bypasses", "evictions", "instructions")
+
+
+def _fresh_policy(name: str, trace: Trace):
+    """A fresh policy instance for one run (policies are stateful)."""
+    if name == "belady":
+        return BeladyPolicy(trace.addresses, bypass=True)
+    if name in MULTITHREAD:
+        return make_policy(name, num_threads=2)
+    return make_policy(name)
+
+
+def _rng(*key) -> random.Random:
+    """A process-stable seeded RNG (``hash()`` is salted; crc32 is not)."""
+    return random.Random(zlib.crc32(":".join(map(str, key)).encode()))
+
+
+def _random_workload(rng: random.Random, geometry: CacheGeometry) -> Trace:
+    """Draw one generator and one parameterization from the pool."""
+    length = rng.randrange(2_000, 4_000)
+    kind = rng.choice(["cyclic", "random", "sequential", "thrash", "mixed"])
+    if kind == "cyclic":
+        trace = cyclic_loop(length, working_set=rng.randrange(16, 400))
+    elif kind == "random":
+        trace = random_working_set(
+            length, working_set=rng.randrange(32, 600), seed=rng.randrange(1 << 16)
+        )
+    elif kind == "sequential":
+        trace = sequential_stream(length, stride=rng.choice([1, 2, 7]))
+    elif kind == "thrash":
+        trace = thrash_loop(
+            length,
+            ways=geometry.ways,
+            num_sets=geometry.num_sets,
+            overshoot=rng.randrange(1, 4),
+        )
+    else:
+        nprng = np.random.default_rng(rng.randrange(1 << 16))
+        hot = nprng.integers(0, 64, size=length)
+        cold = nprng.integers(64, 4_000, size=length)
+        addresses = np.where(nprng.random(length) < 0.6, hot, cold)
+        trace = Trace(
+            addresses,
+            pcs=nprng.integers(0, 16, size=length),
+            thread_ids=nprng.integers(0, 2, size=length),
+            name="mixed",
+        )
+    return trace
+
+
+def _random_geometry(rng: random.Random) -> CacheGeometry:
+    num_sets = rng.choice([8, 16, 32])
+    ways = rng.choice([4, 8, 16])
+    return CacheGeometry(num_sets=num_sets, ways=ways)
+
+
+def _assert_conformant(policy_name: str, trace: Trace, geometry: CacheGeometry,
+                       chunk_size: int) -> None:
+    """Reference, fast, and fast+chunked runs must agree exactly."""
+    reference = run_llc(
+        trace, _fresh_policy(policy_name, trace), geometry, engine="reference"
+    )
+    fast = run_llc(trace, _fresh_policy(policy_name, trace), geometry, engine="fast")
+    chunked = run_llc(
+        TraceStream.from_trace(trace, chunk_size=chunk_size),
+        _fresh_policy(policy_name, trace),
+        geometry,
+        engine="fast",
+    )
+    for field in RESULT_FIELDS:
+        ref_value = getattr(reference, field)
+        assert getattr(fast, field) == ref_value, (
+            f"{policy_name}: fast.{field} diverges from reference on "
+            f"{trace.name} ({len(trace)} accesses)"
+        )
+        assert getattr(chunked, field) == ref_value, (
+            f"{policy_name}: chunked(chunk_size={chunk_size}).{field} "
+            f"diverges from reference on {trace.name} ({len(trace)} accesses)"
+        )
+
+
+@pytest.mark.conformance
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("policy_name", sorted(registered_policies()))
+def test_single_core_engines_agree(policy_name: str, seed: int):
+    rng = _rng("single", policy_name, seed)
+    geometry = _random_geometry(rng)
+    trace = _random_workload(rng, geometry)
+    chunk_size = rng.randrange(64, max(65, len(trace) // 2))
+    _assert_conformant(policy_name, trace, geometry, chunk_size)
+
+
+@pytest.mark.parametrize("policy_name", ["lru", "srrip", "dip", "pdp", "ship"])
+def test_single_core_engines_agree_smoke(policy_name: str):
+    """Unmarked subset so the default (fast) gate runs the harness."""
+    rng = _rng("smoke", policy_name)
+    geometry = _random_geometry(rng)
+    trace = _random_workload(rng, geometry)
+    _assert_conformant(policy_name, trace, geometry, chunk_size=333)
+
+
+def _shared_policy(name: str, traces: list[Trace]):
+    """A fresh shared-LLC policy; belady sees the interleaved stream."""
+    if name == "belady":
+        mixed, _ = interleave_traces(traces)
+        return BeladyPolicy(mixed.addresses, bypass=True)
+    if name in MULTITHREAD:
+        return make_policy(name, num_threads=len(traces))
+    return make_policy(name)
+
+
+def _assert_shared_conformant(policy_name: str, traces: list[Trace],
+                              geometry: CacheGeometry, chunk_size: int) -> None:
+    """Per-thread frozen statistics must agree across all three paths."""
+    singles = [1.0] * len(traces)  # skip baselines: not under test
+    runs = {
+        "reference": run_shared_llc(
+            traces, _shared_policy(policy_name, traces), geometry,
+            singles=singles, engine="reference",
+        ),
+        "fast": run_shared_llc(
+            traces, _shared_policy(policy_name, traces), geometry,
+            singles=singles, engine="fast",
+        ),
+        "chunked": run_shared_llc(
+            traces, _shared_policy(policy_name, traces), geometry,
+            singles=singles, engine="fast", chunk_size=chunk_size,
+        ),
+    }
+    reference = runs["reference"]
+    for label in ("fast", "chunked"):
+        result = runs[label]
+        for thread, (got, want) in enumerate(zip(result.threads, reference.threads)):
+            for field in ("accesses", "hits", "misses", "bypasses", "instructions"):
+                assert getattr(got, field) == getattr(want, field), (
+                    f"{policy_name}: {label} thread {thread} {field} diverges "
+                    f"from reference (chunk_size={chunk_size})"
+                )
+
+
+@pytest.mark.conformance
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize("policy_name", sorted(registered_policies()))
+def test_shared_llc_engines_agree(policy_name: str, seed: int):
+    rng = _rng("shared", policy_name, seed)
+    geometry = _random_geometry(rng)
+    # Unequal lengths so the two threads freeze at different positions —
+    # the chunked path must freeze against absolute stream positions.
+    traces = [
+        _random_workload(rng, geometry).slice(0, rng.randrange(1_000, 2_000)),
+        _random_workload(rng, geometry).slice(0, rng.randrange(500, 1_500)),
+    ]
+    chunk_size = rng.randrange(97, 1_111)
+    _assert_shared_conformant(policy_name, traces, geometry, chunk_size)
+
+
+@pytest.mark.parametrize("policy_name", ["lru", "ucp", "ta-drrip"])
+def test_shared_llc_engines_agree_smoke(policy_name: str):
+    rng = _rng("shared-smoke", policy_name)
+    geometry = CacheGeometry(num_sets=16, ways=8)
+    traces = [
+        _random_workload(rng, geometry).slice(0, 1_200),
+        _random_workload(rng, geometry).slice(0, 700),
+    ]
+    _assert_shared_conformant(policy_name, traces, geometry, chunk_size=251)

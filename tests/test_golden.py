@@ -1,0 +1,92 @@
+"""Golden-result drift tripwire.
+
+Recomputes the pinned (policy x workload) grid and compares it against
+``tests/golden/single_core.json``. A mismatch fails with a readable
+per-cell diff naming every drifted number — if the drift is an
+*intended* behavior change, regenerate the fixture:
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and commit it with the change. The grid definition lives in
+``tools/regen_golden.py`` (single source of truth: the test imports the
+tool, so the fixture and the check can never disagree about what is
+pinned).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "single_core.json"
+REGEN_PATH = REPO_ROOT / "tools" / "regen_golden.py"
+
+
+def _load_regen_module():
+    spec = importlib.util.spec_from_file_location("regen_golden", REGEN_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert GOLDEN_PATH.exists(), (
+        f"missing golden fixture {GOLDEN_PATH}; run "
+        "`PYTHONPATH=src python tools/regen_golden.py`"
+    )
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def recomputed() -> dict:
+    return _load_regen_module().compute_golden()
+
+
+def _diff(expected: dict, got: dict) -> list[str]:
+    """Readable per-cell drift lines (empty when identical)."""
+    lines: list[str] = []
+    for name in sorted(set(expected["trace_fingerprints"]) | set(got["trace_fingerprints"])):
+        want = expected["trace_fingerprints"].get(name)
+        have = got["trace_fingerprints"].get(name)
+        if want != have:
+            lines.append(f"  workload {name}: fingerprint {want} -> {have}")
+    for cell in sorted(set(expected["cells"]) | set(got["cells"])):
+        want = expected["cells"].get(cell)
+        have = got["cells"].get(cell)
+        if want is None:
+            lines.append(f"  cell {cell}: new (not in fixture)")
+            continue
+        if have is None:
+            lines.append(f"  cell {cell}: gone (in fixture, not recomputed)")
+            continue
+        for field in sorted(set(want) | set(have)):
+            if want.get(field) != have.get(field):
+                lines.append(
+                    f"  cell {cell}: {field} {want.get(field)} -> {have.get(field)}"
+                )
+    return lines
+
+
+def test_golden_grid_has_not_drifted(golden, recomputed):
+    drift = _diff(golden, recomputed)
+    assert not drift, (
+        "golden results drifted (fixture -> recomputed):\n"
+        + "\n".join(drift)
+        + "\n\nIf this change is intended, regenerate with "
+        "`PYTHONPATH=src python tools/regen_golden.py` and commit the fixture."
+    )
+
+
+def test_golden_fixture_covers_every_pinned_cell(golden):
+    regen = _load_regen_module()
+    workloads = sorted(regen._workloads())
+    expected_cells = {
+        f"{workload}/{policy}" for workload in workloads for policy in regen.POLICIES
+    }
+    assert set(golden["cells"]) == expected_cells
+    assert set(golden["trace_fingerprints"]) == set(workloads)

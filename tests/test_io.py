@@ -1,7 +1,11 @@
-"""Tests for trace persistence."""
+"""Tests for trace persistence (native format + legacy .npz shim)."""
+
+import gzip
 
 import numpy as np
+import pytest
 
+from repro.traces.formats import TraceFormatError
 from repro.traces.io import load_trace, save_trace
 from repro.traces.trace import Trace
 
@@ -31,3 +35,59 @@ def test_round_trip_large(tmp_path):
     save_trace(trace, path)
     loaded = load_trace(path)
     assert np.array_equal(loaded.addresses, trace.addresses)
+
+
+def test_save_writes_native_gzip_format(tmp_path):
+    """Regardless of the suffix, ``save_trace`` writes the native format
+    (gzip stream carrying the REPROTRC magic)."""
+    path = tmp_path / "trace.npz"  # legacy-looking name, native content
+    save_trace(Trace([1, 2, 3], name="t"), path)
+    head = path.read_bytes()[:2]
+    assert head == b"\x1f\x8b"
+    with gzip.open(path, "rb") as fh:
+        assert fh.read(8) == b"REPROTRC"
+
+
+def test_load_accepts_legacy_npz_archive(tmp_path):
+    """Archives written by the pre-native ``save_trace`` still load."""
+    trace = Trace(
+        [5, 6, 7],
+        pcs=[50, 60, 70],
+        thread_ids=[1, 0, 1],
+        name="legacy",
+        instructions_per_access=3.5,
+    )
+    path = tmp_path / "legacy.npz"
+    np.savez_compressed(
+        path,
+        addresses=trace.addresses,
+        pcs=trace.pcs,
+        thread_ids=trace.thread_ids,
+        name=np.array(trace.name),
+        instructions_per_access=np.array(trace.instructions_per_access),
+    )
+    loaded = load_trace(path)
+    assert list(loaded.addresses) == [5, 6, 7]
+    assert list(loaded.pcs) == [50, 60, 70]
+    assert list(loaded.thread_ids) == [1, 0, 1]
+    assert loaded.name == "legacy"
+    assert loaded.instructions_per_access == 3.5
+
+
+def test_load_rejects_unknown_content(tmp_path):
+    path = tmp_path / "junk.npz"
+    path.write_bytes(b"definitely not a trace")
+    with pytest.raises(TraceFormatError, match="neither a native trace"):
+        load_trace(path)
+
+
+def test_load_rejects_corrupt_legacy_archive(tmp_path):
+    path = tmp_path / "bad.npz"
+    path.write_bytes(b"PK\x03\x04 truncated zip")
+    with pytest.raises(TraceFormatError, match="corrupt legacy"):
+        load_trace(path)
+
+
+def test_load_missing_file_raises_format_error(tmp_path):
+    with pytest.raises(TraceFormatError, match="unreadable"):
+        load_trace(tmp_path / "absent.trz")

@@ -69,6 +69,25 @@ def test_parallel_sweep_matches_serial(trace):
     assert _summaries(parallel) == _summaries(serial)
 
 
+def test_parallel_sweep_accepts_trace_stream(trace, tmp_path):
+    """A chunked TraceStream source sweeps identically to the in-memory
+    trace: the parent stream-copies it to a native payload once and the
+    workers re-open it chunked (O(chunk) per process)."""
+    from repro.traces.formats import open_trace, write_stream
+    from repro.traces.stream import as_stream
+
+    path = tmp_path / "payload.trz"
+    write_stream(as_stream(trace), path)
+    stream = open_trace(path, chunk_size=1_024)
+    serial = sweep_static_pd(trace, GEOMETRY, PD_GRID[:4], bypass=True)
+    streamed = parallel_sweep_static_pd(
+        stream, GEOMETRY, PD_GRID[:4], bypass=True, max_workers=2
+    )
+    assert _summaries(streamed) == {
+        pd: _summaries(serial)[pd] for pd in PD_GRID[:4]
+    }
+
+
 def test_parallel_compare_matches_serial(trace):
     factories = {"lru": LRUPolicy, "drrip": DRRIPPolicy}
     serial = compare_policies(trace, factories, GEOMETRY)

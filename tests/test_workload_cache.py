@@ -7,7 +7,9 @@ import pytest
 
 from repro.traces.trace import Trace
 from repro.workloads.cache import (
+    CACHE_SUFFIX,
     ENV_TRACE_CACHE_DIR,
+    LEGACY_CACHE_SUFFIX,
     cached_trace,
     trace_cache_dir,
     trace_cache_key,
@@ -26,7 +28,7 @@ def test_cached_trace_is_byte_identical_to_fresh(tmp_path):
     fresh = make_benchmark_trace(BENCH, **PARAMS)
     stored = make_benchmark_trace(BENCH, **PARAMS, cache_dir=tmp_path)
     loaded = make_benchmark_trace(BENCH, **PARAMS, cache_dir=tmp_path)
-    assert len(list(tmp_path.glob("*.npz"))) == 1
+    assert len(list(tmp_path.glob("*.trz"))) == 1
     for a, b, c in zip(_columns(fresh), _columns(stored), _columns(loaded)):
         assert a.dtype == b.dtype == c.dtype == np.int64
         assert a.tobytes() == b.tobytes() == c.tobytes()
@@ -61,7 +63,7 @@ def test_env_var_enables_caching(monkeypatch, tmp_path):
     monkeypatch.setenv(ENV_TRACE_CACHE_DIR, str(tmp_path))
     assert trace_cache_dir() == tmp_path
     make_benchmark_trace(BENCH, **PARAMS)
-    assert len(list(tmp_path.glob("*.npz"))) == 1
+    assert len(list(tmp_path.glob("*.trz"))) == 1
 
 
 def test_key_includes_generator_version_and_params():
@@ -77,16 +79,65 @@ def test_version_bump_invalidates_entry(tmp_path):
     make = lambda: Trace([1, 2, 3], name="t")  # noqa: E731
     cached_trace("gen", {"n": 3}, 0, make, version=1, directory=tmp_path)
     cached_trace("gen", {"n": 3}, 0, make, version=2, directory=tmp_path)
-    assert len(list(tmp_path.glob("*.npz"))) == 2
+    assert len(list(tmp_path.glob("*.trz"))) == 2
 
 
 def test_corrupt_entry_is_regenerated(tmp_path):
     make = lambda: Trace([4, 5, 6], name="t")  # noqa: E731
     cached_trace("gen", {"n": 3}, 0, make, directory=tmp_path)
-    (entry,) = tmp_path.glob("*.npz")
-    entry.write_bytes(b"not an npz archive")
+    (entry,) = tmp_path.glob("*.trz")
+    entry.write_bytes(b"not a trace archive")
     trace = cached_trace("gen", {"n": 3}, 0, make, directory=tmp_path)
     assert trace.addresses.tolist() == [4, 5, 6]
+
+
+def test_legacy_npz_entry_is_loaded_and_migrated(tmp_path):
+    """A cache populated by an older build (.npz entries) still hits, and
+    the hit migrates the entry to the native format in place."""
+    produced = Trace([10, 20, 30], pcs=[1, 2, 3], name="legacy")
+    stem = trace_cache_key("gen", 1, {"n": 3}, 0)
+    legacy = tmp_path / (stem + LEGACY_CACHE_SUFFIX)
+    _save_legacy_npz(produced, legacy)
+
+    calls = []
+
+    def produce() -> Trace:
+        calls.append(1)
+        return produced
+
+    loaded = cached_trace("gen", {"n": 3}, 0, produce, directory=tmp_path)
+    assert calls == []  # served from the legacy entry, not regenerated
+    assert loaded.addresses.tolist() == [10, 20, 30]
+    assert loaded.pcs.tolist() == [1, 2, 3]
+    # Migrated to native; legacy file kept for still-running old workers.
+    assert (tmp_path / (stem + CACHE_SUFFIX)).exists()
+    assert legacy.exists()
+    # Second lookup hits the native entry directly.
+    again = cached_trace("gen", {"n": 3}, 0, produce, directory=tmp_path)
+    assert calls == []
+    assert again.addresses.tolist() == [10, 20, 30]
+
+
+def test_corrupt_legacy_entry_is_regenerated(tmp_path):
+    make = lambda: Trace([7, 8], name="t")  # noqa: E731
+    stem = trace_cache_key("gen", 1, {"n": 2}, 0)
+    legacy = tmp_path / (stem + LEGACY_CACHE_SUFFIX)
+    legacy.write_bytes(b"PK\x03\x04 truncated junk")
+    trace = cached_trace("gen", {"n": 2}, 0, make, directory=tmp_path)
+    assert trace.addresses.tolist() == [7, 8]
+    assert not legacy.exists()  # corrupt legacy entry evicted
+
+
+def _save_legacy_npz(trace: Trace, path) -> None:
+    """Write the pre-streaming on-disk format (what old builds produced)."""
+    np.savez_compressed(
+        path,
+        addresses=trace.addresses,
+        pcs=trace.pcs,
+        thread_ids=trace.thread_ids,
+        name=np.array(trace.name),
+        instructions_per_access=np.array(trace.instructions_per_access),
+    )
 
 
 def test_cache_path_that_is_a_file_raises_cleanly(tmp_path):

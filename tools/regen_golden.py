@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Regenerate the golden result fixtures in ``tests/golden/``.
+
+The golden grid pins exact statistics (hits, misses, evictions,
+bypasses, instructions) and the trace content fingerprint for a fixed
+set of (policy x workload x geometry) cells run through the fast-path
+engine. ``tests/test_golden.py`` recomputes the grid on every CI run and
+fails with a readable per-cell diff when any number drifts — the
+tripwire for unintended behavior changes in the policies, the kernels,
+or the workload generators.
+
+Run after an *intended* behavior change:
+
+    PYTHONPATH=src python tools/regen_golden.py
+
+and commit the updated ``tests/golden/single_core.json`` together with
+the change that moved the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "single_core.json"
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: Policies pinned by the grid (constructor-default instantiations).
+POLICIES = ("fifo", "lru", "srrip", "dip", "pdp", "pdp-classified", "ship")
+
+#: Deterministic workloads pinned by the grid, keyed by cell name.
+WORKLOAD_SEED = 1234
+
+
+def _workloads():
+    from repro.workloads.streams import (
+        cyclic_loop,
+        random_working_set,
+        thrash_loop,
+    )
+
+    return {
+        "cyclic": cyclic_loop(3_000, working_set=96),
+        "random": random_working_set(3_000, working_set=256, seed=WORKLOAD_SEED),
+        "thrash": thrash_loop(3_000, ways=8, num_sets=16, overshoot=2),
+    }
+
+
+def compute_golden() -> dict:
+    """Run the full grid and return the JSON-native golden dict."""
+    from repro.memory.cache import CacheGeometry
+    from repro.obs.manifest import trace_fingerprint
+    from repro.policies.base import make_policy
+    from repro.sim.single_core import run_llc
+
+    geometry = CacheGeometry(num_sets=16, ways=8)
+    cells = {}
+    for workload_name, trace in sorted(_workloads().items()):
+        for policy_name in POLICIES:
+            result = run_llc(trace, make_policy(policy_name), geometry)
+            cells[f"{workload_name}/{policy_name}"] = {
+                "accesses": result.accesses,
+                "hits": result.hits,
+                "misses": result.misses,
+                "bypasses": result.bypasses,
+                "evictions": result.evictions,
+                "instructions": result.instructions,
+            }
+    fingerprints = {
+        name: trace_fingerprint(trace)
+        for name, trace in sorted(_workloads().items())
+    }
+    return {
+        "geometry": {"num_sets": 16, "ways": 8, "line_size": 64},
+        "trace_fingerprints": fingerprints,
+        "cells": cells,
+    }
+
+
+def main() -> int:
+    golden = compute_golden()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(golden['cells'])} cells to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
