@@ -18,7 +18,10 @@ Measures, on a 403.gcc-like trace at the experiment geometry (64 sets x
 
 ``--check`` exits non-zero if the fast engine is slower than the
 reference for any measured policy. Results land in ``BENCH_engine.json``
-at the repo root (override with ``--out``).
+at the repo root (override with ``--out``), wrapped in the canonical
+benchmark schema of :mod:`repro.obs.bench` (machine fingerprint, git
+SHA, ``engine/policy`` throughput map, peak RSS); ``--trajectory FILE``
+additionally appends the record to the JSONL perf-trajectory file.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.pdp_policy import PDPPolicy  # noqa: E402
 from repro.experiments.common import EXPERIMENT_GEOMETRY, TIMING  # noqa: E402
+from repro.obs.bench import append_trajectory, canonical_record  # noqa: E402
 from repro.policies.lru import LRUPolicy  # noqa: E402
 from repro.sim.parallel import parallel_sweep_static_pd  # noqa: E402
 from repro.sim.runner import sweep_static_pd  # noqa: E402
@@ -149,21 +153,28 @@ def main(argv: list[str] | None = None) -> int:
         help="output JSON path (default BENCH_engine.json at the repo root; "
         "'-' skips writing)",
     )
+    parser.add_argument(
+        "--trajectory", default=None,
+        help="also append the canonical record to this JSONL trajectory file",
+    )
     args = parser.parse_args(argv)
 
     length = args.length or (50_000 if args.quick else 500_000)
     repeats = 1 if args.quick else 3
     workers = args.workers or (os.cpu_count() or 1)
     report = run_benchmark(length, repeats, workers)
+    record = canonical_record("engine", report)
 
-    text = json.dumps(report, indent=2)
-    print(text)
+    print(json.dumps(report, indent=2))
     if args.out != "-":
         out = Path(args.out) if args.out else (
             Path(__file__).resolve().parent.parent / "BENCH_engine.json"
         )
-        out.write_text(text + "\n")
+        out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
         print(f"[written to {out}]", file=sys.stderr)
+    if args.trajectory:
+        append_trajectory(record, args.trajectory)
+        print(f"[appended to {args.trajectory}]", file=sys.stderr)
 
     if args.check:
         slow = [

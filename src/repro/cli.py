@@ -10,6 +10,10 @@ Commands:
 - ``experiment`` — run one of the paper's figure/table drivers.
 - ``overhead`` — the hardware overhead report.
 - ``obs summarize`` — rebuild a result table from a manifest directory.
+- ``obs report`` — render the self-contained markdown/HTML observatory
+  report (tables + window sparklines) from manifests alone.
+- ``obs bench`` — in-process micro benchmark emitting a canonical
+  schema-versioned BENCH record (see :mod:`repro.obs.bench`).
 - ``trace convert`` / ``trace info`` — stream-convert and inspect
   external trace files (native ``.trz``, ChampSim-style binary, CSV).
 
@@ -21,7 +25,8 @@ Observability: ``run``, ``sweep`` and ``experiment`` accept
 ``--manifest-dir`` (defaulting to ``$REPRO_MANIFEST_DIR`` when set) to
 write per-run provenance manifests, and ``sweep`` / ``experiment``
 accept ``--progress`` to stream started/finished/failed task events to
-stderr. See :mod:`repro.obs`.
+stderr. ``run --window-size N`` records per-window statistics through
+:mod:`repro.obs.timeseries`. See :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -141,6 +146,7 @@ def _cmd_run(args) -> int:
         manifest_dir=_manifest_dir(args),
         run_label=args.policy,
         run_meta={"seed": args.seed} if args.seed is not None else None,
+        window_size=args.window_size,
     )
     print(f"workload  : {result.name} ({result.accesses} accesses)")
     print(f"policy    : {args.policy}")
@@ -150,6 +156,24 @@ def _cmd_run(args) -> int:
     print(f"bypass    : {result.bypass_fraction:.1%}")
     if "final_pd" in result.extra:
         print(f"final PD  : {result.extra['final_pd']}")
+    payload = result.extra.get("timeseries")
+    if payload:
+        from repro.obs.bench import sparkline
+        from repro.obs.timeseries import windows_from_payload
+
+        windows = windows_from_payload(payload)
+        rates = [w.hit_rate for w in windows]
+        print(
+            f"windows   : {payload['windows_closed']} of "
+            f"{payload['window_size']} accesses"
+            + (f" ({payload['windows_dropped']} dropped)"
+               if payload["windows_dropped"] else "")
+        )
+        if rates:
+            print(f"hit rate/w: {sparkline(rates)}")
+        pds = [w.pd for w in windows if w.pd is not None]
+        if pds:
+            print(f"PD/window : {sparkline([float(p) for p in pds])}")
     return 0
 
 
@@ -298,6 +322,39 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_obs_report(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.bench import render_report
+
+    text = render_report(args.directory, html=args.html)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"[written to {args.out}]", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_obs_bench(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.bench import append_trajectory, run_micro_bench
+
+    record = run_micro_bench(length=args.length, repeats=args.repeats)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(record, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[written to {args.out}]", file=sys.stderr)
+    if args.trajectory:
+        append_trajectory(record, args.trajectory)
+        print(f"[appended to {args.trajectory}]", file=sys.stderr)
+    return 0
+
+
 def _cmd_trace_convert(args) -> int:
     from repro.traces.formats import TraceFormatError, convert_trace
 
@@ -411,6 +468,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for the on-disk trace cache "
         "(default: $REPRO_TRACE_CACHE_DIR, unset = no caching)",
+    )
+    run.add_argument(
+        "--window-size",
+        type=int,
+        default=None,
+        help="record per-window statistics every N accesses (printed as "
+        "sparklines and persisted into the run manifest)",
     )
     _add_manifest_dir(run)
     run.set_defaults(func=_cmd_run)
@@ -546,6 +610,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     summarize.add_argument("directory", help="manifest directory to read")
     summarize.set_defaults(func=_cmd_obs)
+    report = obs_sub.add_parser(
+        "report",
+        help="render a self-contained markdown/HTML report (tables + "
+        "window sparklines) from a manifest directory, zero re-simulation",
+    )
+    report.add_argument("directory", help="manifest directory to read")
+    report.add_argument(
+        "--html", action="store_true", help="emit HTML instead of markdown"
+    )
+    report.add_argument("--out", default=None, help="write report to this path")
+    report.set_defaults(func=_cmd_obs_report)
+    bench = obs_sub.add_parser(
+        "bench",
+        help="run the in-process micro benchmark and record a canonical "
+        "schema-versioned BENCH record",
+    )
+    bench.add_argument(
+        "--length", type=int, default=50_000, help="trace length to measure"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=1, help="best-of-N timing repeats"
+    )
+    bench.add_argument(
+        "--out", default=None, help="write the canonical record to this path"
+    )
+    bench.add_argument(
+        "--trajectory",
+        default=None,
+        help="append the record to this JSONL trajectory file",
+    )
+    bench.set_defaults(func=_cmd_obs_bench)
     return parser
 
 

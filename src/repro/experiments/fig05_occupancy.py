@@ -6,6 +6,12 @@ DRRIP, SPDP-NB and SPDP-B on 436.cactusADM and 464.h264ref. The paper's
 claims: PDP shrinks the occupancy share of long-evicted lines, and SPDP-B
 bypasses most h264ref misses. Fig. 5b shows the three xalancbmk windows'
 RDDs peak at different distances.
+
+Each Fig. 5a cell is **one** simulation: the occupancy tracker and a
+:class:`repro.obs.timeseries.WindowedRecorder` ride the same
+:func:`run_llc` call, so the time-resolved columns (eviction-cause split,
+per-window protected-line occupancy) come from recorder output rather
+than a second bespoke loop over the trace.
 """
 
 from __future__ import annotations
@@ -22,6 +28,8 @@ from repro.experiments.common import (
     format_table,
 )
 from repro.memory.stats import OccupancyBreakdown
+from repro.obs.bench import sparkline
+from repro.obs.timeseries import Window, WindowedRecorder
 from repro.policies.rrip import DRRIPPolicy
 from repro.sim.runner import best_static_pd
 from repro.sim.single_core import run_llc
@@ -30,23 +38,51 @@ from repro.traces.analysis import reuse_distance_distribution
 FIG5_BENCHMARKS = ("436.cactusADM", "464.h264ref")
 XALANC_WINDOWS = ("483.xalancbmk.1", "483.xalancbmk.2", "483.xalancbmk.3")
 
+#: Windows recorded per Fig. 5a run (window size adapts to trace length).
+FIG5_WINDOW_COUNT = 32
+
 
 @dataclass(frozen=True)
 class OccupancyResult:
-    """Fig. 5a: one (benchmark, policy) breakdown."""
+    """Fig. 5a: one (benchmark, policy) breakdown plus its recorded
+    windows (the time-resolved view of the same single run)."""
 
     name: str
     policy: str
     breakdown: OccupancyBreakdown
     bypass_fraction: float
+    windows: list[Window]
+
+    @property
+    def evictions_reused(self) -> int:
+        """Evicted lines that were hit while resident (summed windows)."""
+        return sum(w.evictions_reused for w in self.windows)
+
+    @property
+    def evictions_dead(self) -> int:
+        """Evicted lines never hit while resident (summed windows)."""
+        return sum(w.evictions_dead for w in self.windows)
+
+    @property
+    def protected_trajectory(self) -> list[int]:
+        """Per-window protected-line occupancy (PDP policies only)."""
+        return [
+            w.protected_lines for w in self.windows if w.protected_lines is not None
+        ]
 
 
 def run_fig5a(fast: bool = False) -> list[OccupancyResult]:
-    """Occupancy breakdowns under DRRIP / SPDP-NB / SPDP-B."""
+    """Occupancy breakdowns under DRRIP / SPDP-NB / SPDP-B.
+
+    One :func:`run_llc` call per cell carries both the occupancy tracker
+    and the windowed recorder; no re-simulation happens after the
+    static-PD sweeps pick the SPDP operating points.
+    """
     grid = list(range(16, 257, 16))
     results = []
     for name in FIG5_BENCHMARKS:
         trace = default_trace(name, fast=fast)
+        window_size = max(1, len(trace) // FIG5_WINDOW_COUNT)
         pd_nb, _ = best_static_pd(trace, EXPERIMENT_GEOMETRY, grid, bypass=False)
         pd_b, _ = best_static_pd(trace, EXPERIMENT_GEOMETRY, grid, bypass=True)
         policies = (
@@ -55,6 +91,7 @@ def run_fig5a(fast: bool = False) -> list[OccupancyResult]:
             ("SPDP-B", PDPPolicy(static_pd=pd_b, bypass=True)),
         )
         for label, policy in policies:
+            recorder = WindowedRecorder(window_size=window_size)
             run = run_llc(
                 trace,
                 policy,
@@ -62,6 +99,7 @@ def run_fig5a(fast: bool = False) -> list[OccupancyResult]:
                 timing=TIMING,
                 track_occupancy=True,
                 occupancy_threshold=16,
+                timeseries=recorder,
             )
             results.append(
                 OccupancyResult(
@@ -69,6 +107,7 @@ def run_fig5a(fast: bool = False) -> list[OccupancyResult]:
                     policy=label,
                     breakdown=run.extra["occupancy"],
                     bypass_fraction=run.bypass_fraction,
+                    windows=recorder.windows,
                 )
             )
     return results
@@ -99,10 +138,15 @@ def run_fig5b(fast: bool = False) -> list[WindowRDD]:
 def format_report(
     occupancy: list[OccupancyResult], windows: list[WindowRDD]
 ) -> str:
+    """Render the Fig. 5 tables, including the recorder-derived
+    eviction-cause split and protected-occupancy sparkline."""
     rows = []
     for result in occupancy:
         access = result.breakdown.access_fractions()
         occ = result.breakdown.occupancy_fractions()
+        evictions = result.evictions_reused + result.evictions_dead
+        dead = result.evictions_dead / evictions if evictions else 0.0
+        protected = result.protected_trajectory
         rows.append(
             [
                 result.name,
@@ -113,6 +157,10 @@ def format_report(
                 f"{100 * access['evicted_long']:5.1f}%",
                 f"{100 * (occ['evicted_short'] + occ['evicted_long']):5.1f}%",
                 str(result.breakdown.max_eviction_occupancy),
+                f"{100 * dead:5.1f}%",
+                sparkline([float(p) for p in protected], width=16)
+                if protected
+                else "-",
             ]
         )
     table_a = format_table(
@@ -125,6 +173,8 @@ def format_report(
             "evict>16",
             "evictOcpy",
             "maxOcpy",
+            "deadEvict",
+            "protected/t",
         ],
         rows,
         title="Fig. 5a — access breakdown and evicted-line occupancy share",
@@ -139,6 +189,7 @@ def format_report(
 
 __all__ = [
     "FIG5_BENCHMARKS",
+    "FIG5_WINDOW_COUNT",
     "OccupancyResult",
     "WindowRDD",
     "XALANC_WINDOWS",

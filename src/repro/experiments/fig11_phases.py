@@ -3,6 +3,12 @@
 (a) sensitivity of dynamic PDP to the PD-recompute interval on the five
 phase-changing workloads; (b) policy comparison on those workloads;
 (c) the PD trajectory over time, which must move when the phase changes.
+
+The PD trajectory and the per-window hit-rate profile both come from a
+:class:`repro.obs.timeseries.WindowedRecorder` attached to the run
+(window size = the PD recompute interval, so each window closes with the
+PD in force for that stretch of the trace) — the recorder replaces the
+driver's former reliance on the PD engine's internal history plumbing.
 """
 
 from __future__ import annotations
@@ -11,6 +17,8 @@ from dataclasses import dataclass
 
 from repro.core.pdp_policy import PDPPolicy
 from repro.experiments.common import EXPERIMENT_GEOMETRY, TIMING, format_table
+from repro.obs.bench import sparkline
+from repro.obs.timeseries import WindowedRecorder
 from repro.policies.lip_bip_dip import DIPPolicy
 from repro.policies.rrip import DRRIPPolicy
 from repro.sim.metrics import percent_change
@@ -20,10 +28,18 @@ from repro.workloads.phased import phase_changing_profiles
 #: Scaled analogues of the paper's 1M..8M-access reset intervals.
 RESET_INTERVALS = (1024, 2048, 4096, 8192)
 
+#: The reset interval whose run provides the Fig. 11c trajectory.
+TRAJECTORY_INTERVAL = 4096
+
 
 @dataclass(frozen=True)
 class PhaseResult:
-    """One phased workload's Fig. 11 numbers."""
+    """One phased workload's Fig. 11 numbers.
+
+    ``pd_history`` is the recorder's ``(window_end, pd)`` trajectory and
+    ``window_hit_rates`` the matching per-window hit rates, both from the
+    ``TRAJECTORY_INTERVAL`` run.
+    """
 
     name: str
     ipc_by_interval: dict[int, float]
@@ -31,25 +47,34 @@ class PhaseResult:
     drrip_ipc: float
     pdp_ipc: float
     pd_history: list[tuple[int, int]]
+    window_hit_rates: list[float]
 
     @property
     def pd_values_seen(self) -> set[int]:
+        """Distinct PDs the run settled on (must be >1 across phases)."""
         return {pd for _, pd in self.pd_history}
 
 
 def run_fig11(fast: bool = False, phase_length: int | None = None) -> list[PhaseResult]:
+    """Run the Fig. 11 grid over the phase-changing workloads."""
     phase_length = phase_length or (10_000 if fast else 20_000)
     results = []
     for key, workload in phase_changing_profiles(phase_length=phase_length).items():
         trace = workload.generate(num_sets=EXPERIMENT_GEOMETRY.num_sets)
         ipc_by_interval = {}
-        best_history = None
+        best_history: list[tuple[int, int]] = []
+        best_hit_rates: list[float] = []
         for interval in RESET_INTERVALS:
             policy = PDPPolicy(recompute_interval=interval)
-            run = run_llc(trace, policy, EXPERIMENT_GEOMETRY, timing=TIMING)
+            recorder = WindowedRecorder(window_size=interval)
+            run = run_llc(
+                trace, policy, EXPERIMENT_GEOMETRY, timing=TIMING,
+                timeseries=recorder,
+            )
             ipc_by_interval[interval] = run.ipc
-            if interval == 4096:
-                best_history = run.extra["pd_history"]
+            if interval == TRAJECTORY_INTERVAL:
+                best_history = recorder.pd_trajectory()
+                best_hit_rates = [w.hit_rate for w in recorder.windows]
         dip = run_llc(trace, DIPPolicy(), EXPERIMENT_GEOMETRY, timing=TIMING)
         drrip = run_llc(trace, DRRIPPolicy(), EXPERIMENT_GEOMETRY, timing=TIMING)
         results.append(
@@ -58,14 +83,17 @@ def run_fig11(fast: bool = False, phase_length: int | None = None) -> list[Phase
                 ipc_by_interval=ipc_by_interval,
                 dip_ipc=dip.ipc,
                 drrip_ipc=drrip.ipc,
-                pdp_ipc=ipc_by_interval[4096],
-                pd_history=best_history or [],
+                pdp_ipc=ipc_by_interval[TRAJECTORY_INTERVAL],
+                pd_history=best_history,
+                window_hit_rates=best_hit_rates,
             )
         )
     return results
 
 
 def format_report(results: list[PhaseResult]) -> str:
+    """Render the Fig. 11 tables (interval sensitivity, policy
+    comparison, PD trajectory, per-window hit-rate sparkline)."""
     interval_rows = []
     for result in results:
         baseline = result.ipc_by_interval[RESET_INTERVALS[0]] or 1.0
@@ -88,15 +116,31 @@ def format_report(results: list[PhaseResult]) -> str:
             f"{percent_change(result.pdp_ipc, result.dip_ipc):+6.2f}%",
             str(len(result.pd_values_seen)),
             "->".join(str(pd) for _, pd in result.pd_history[:8]),
+            sparkline(result.window_hit_rates, width=16)
+            if result.window_hit_rates
+            else "-",
         ]
         for result in results
     ]
     table_b = format_table(
-        ["workload", "DRRIP vs DIP", "PDP vs DIP", "#PDs", "PD trajectory (head)"],
+        [
+            "workload",
+            "DRRIP vs DIP",
+            "PDP vs DIP",
+            "#PDs",
+            "PD trajectory (head)",
+            "hitrate/t",
+        ],
         compare_rows,
         title="Fig. 11b/c — phased workloads: policy comparison and PD over time",
     )
     return table_a + "\n\n" + table_b
 
 
-__all__ = ["PhaseResult", "RESET_INTERVALS", "format_report", "run_fig11"]
+__all__ = [
+    "PhaseResult",
+    "RESET_INTERVALS",
+    "TRAJECTORY_INTERVAL",
+    "format_report",
+    "run_fig11",
+]

@@ -13,13 +13,34 @@ reproducible after it finishes:
   for grid runs, delivered to an ``on_event`` callback.
 - :mod:`repro.obs.trace_log` — append-only JSONL event log persisted
   next to the manifests.
+- :mod:`repro.obs.timeseries` — fixed-budget windowed recorder turning
+  one run into per-window hit/miss/eviction-cause/PD statistics that are
+  bit-identical across engines and chunk sizes.
+- :mod:`repro.obs.bench` — canonical schema-versioned benchmark records,
+  the appending perf trajectory, throughput-regression comparison, and
+  the self-contained markdown/HTML report renderer.
 
 The simulation entry points (``run_llc``, ``run_hierarchy``,
 ``run_shared_llc``, ``run_matrix``, ``run_mix_matrix``) accept
 ``manifest_dir=`` to emit manifests and — for the grid runners —
-``on_event=`` for progress; ``python -m repro obs summarize <dir>``
-rebuilds the result table from manifests alone.
+``on_event=`` for progress; the three drivers also accept
+``timeseries=`` / ``window_size=`` to fill a
+:class:`~repro.obs.timeseries.WindowedRecorder`. ``python -m repro obs
+summarize <dir>`` rebuilds the result table from manifests alone, and
+``python -m repro obs report <dir>`` renders the full observatory
+report with zero re-simulation.
 """
+
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    append_trajectory,
+    canonical_record,
+    compare_records,
+    migrate_record,
+    read_trajectory,
+    render_report,
+    sparkline,
+)
 
 from repro.obs.manifest import (
     ENV_MANIFEST_DIR,
@@ -47,30 +68,48 @@ from repro.obs.telemetry import (
     get_telemetry,
     set_enabled,
 )
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA_VERSION,
+    Window,
+    WindowedRecorder,
+    windows_from_payload,
+)
 from repro.obs.trace_log import EVENTS_FILENAME, TraceLog, read_events
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
     "ENV_MANIFEST_DIR",
     "ENV_TELEMETRY",
     "EVENTS_FILENAME",
     "MANIFEST_SCHEMA_VERSION",
     "Manifest",
+    "TIMESERIES_SCHEMA_VERSION",
+    "Window",
+    "WindowedRecorder",
     "ProgressEvent",
     "ProgressReporter",
     "TELEMETRY",
     "TaskFailure",
     "Telemetry",
     "TraceLog",
+    "append_trajectory",
+    "canonical_record",
+    "compare_records",
     "console_reporter",
     "get_telemetry",
     "git_sha",
     "load_manifests",
+    "migrate_record",
     "new_run_id",
     "print_event",
     "read_events",
+    "read_trajectory",
+    "render_report",
     "resolve_manifest_dir",
     "set_enabled",
+    "sparkline",
     "summarize_exception",
     "summarize_manifests",
     "trace_fingerprint",
+    "windows_from_payload",
 ]

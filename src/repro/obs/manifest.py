@@ -36,7 +36,10 @@ from functools import lru_cache
 from pathlib import Path
 
 #: Manifest schema version; bump on incompatible layout changes.
-MANIFEST_SCHEMA_VERSION = 1
+#: v1: original layout (PR 3). v2: adds the ``timeseries`` field
+#: (windowed per-run statistics, see :mod:`repro.obs.timeseries`);
+#: v1 documents load cleanly with an empty ``timeseries``.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Environment variable naming a default manifest directory for the CLI.
 ENV_MANIFEST_DIR = "REPRO_MANIFEST_DIR"
@@ -178,8 +181,11 @@ class Manifest:
     Single-run manifests carry counters in ``stats`` and derived numbers
     (hit rate, MPKI, IPC, or W/T/H) in ``metrics``; sweep manifests carry
     the task list in ``tasks`` and any :class:`TaskFailure` records in
-    ``failures``. All values are JSON-native so ``save`` → ``load``
-    round-trips to an equal object.
+    ``failures``. Runs recorded with a
+    :class:`repro.obs.timeseries.WindowedRecorder` persist its
+    schema-versioned window payload in ``timeseries`` (schema v2; v1
+    documents load with it empty). All values are JSON-native so
+    ``save`` → ``load`` round-trips to an equal object.
     """
 
     kind: str
@@ -198,6 +204,7 @@ class Manifest:
     stats: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     telemetry: dict = field(default_factory=dict)
+    timeseries: dict = field(default_factory=dict)
     tasks: list = field(default_factory=list)
     failures: list = field(default_factory=list)
     extra: dict = field(default_factory=dict)
@@ -299,26 +306,39 @@ def _table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
 def summarize_manifests(manifests: list[Manifest]) -> str:
     """Render a directory of manifests as an aligned comparison table.
 
-    Single-run manifests become one row each (workload x policy cell);
-    sweep-level manifests contribute a trailing status section listing
-    task counts and any recorded failures.
+    Single-run manifests become one row each (workload x policy cell),
+    including eviction and recorded-window counts when the manifest
+    carries them; sweep-level manifests contribute a trailing status
+    section listing task counts and any recorded failures. Manifests
+    written by older schema versions degrade gracefully: missing
+    columns render blank and a trailing note records the version skew
+    instead of crashing.
     """
     rows = []
     sweeps = []
+    stale = 0
     for manifest in manifests:
+        if manifest.schema_version != MANIFEST_SCHEMA_VERSION:
+            stale += 1
         if manifest.tasks or manifest.kind in ("matrix", "mix_matrix"):
             sweeps.append(manifest)
             continue
         metrics = manifest.metrics
+        stats = manifest.stats if isinstance(manifest.stats, dict) else {}
+        evictions = stats.get("evictions")
+        timeseries = manifest.timeseries if isinstance(manifest.timeseries, dict) else {}
+        window_count = timeseries.get("windows_closed")
         rows.append(
             [
                 manifest.workload,
                 manifest.label or manifest.policy,
                 manifest.engine,
                 str(manifest.accesses),
-                _format_metric(metrics.get("hit_rate", manifest.stats.get("hit_rate", ""))),
+                _format_metric(metrics.get("hit_rate", stats.get("hit_rate", ""))),
                 _format_metric(metrics.get("mpki", "")),
                 _format_metric(metrics.get("ipc", metrics.get("weighted", ""))),
+                "" if evictions is None else str(evictions),
+                "" if window_count is None else str(window_count),
                 f"{manifest.accesses_per_sec:,.0f}",
                 f"{manifest.wall_time_s:.3f}",
             ]
@@ -335,6 +355,8 @@ def summarize_manifests(manifests: list[Manifest]) -> str:
                     "hit_rate",
                     "mpki",
                     "ipc",
+                    "evics",
+                    "windows",
                     "acc/s",
                     "wall_s",
                 ],
@@ -356,6 +378,12 @@ def summarize_manifests(manifests: list[Manifest]) -> str:
                 f"{failure.workload or '?'}]: {failure.error_type}: {failure.message}"
             )
         sections.append("\n".join(lines))
+    if stale:
+        sections.append(
+            f"note: {stale} manifest(s) were written by a different schema "
+            f"version (current v{MANIFEST_SCHEMA_VERSION}); columns their "
+            "schema lacks render blank"
+        )
     if not sections:
         return "no manifests found"
     return "\n\n".join(sections)

@@ -129,6 +129,26 @@ class Telemetry:
             },
         }
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` payload into this sink, summing
+        counters and timer calls/seconds name by name.
+
+        This is how counters recorded inside pool workers survive: each
+        ``run_matrix`` / ``run_mix_matrix`` task ships its worker-local
+        snapshot back with the result and the parent merges it here.
+        Merging is aggregation of already-recorded data, not a recording
+        entry point, so it works even while ``enabled`` is False.
+        """
+        for name, amount in snapshot.get("counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) + amount
+        for name, timer in snapshot.get("timers", {}).items():
+            mine = self.timers.get(name)
+            if mine is None:
+                self.timers[name] = [timer["calls"], timer["total_s"]]
+            else:
+                mine[0] += timer["calls"]
+                mine[1] += timer["total_s"]
+
 
 #: Default process-wide telemetry sink used by the simulation stack.
 TELEMETRY = Telemetry(enabled=bool(os.environ.get(ENV_TELEMETRY, "").strip()))

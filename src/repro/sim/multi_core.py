@@ -27,13 +27,14 @@ from repro.memory.timing import TimingModel
 from repro.obs.manifest import Manifest, trace_fingerprint
 from repro.obs.manifest import git_sha as _git_sha
 from repro.obs.telemetry import TELEMETRY
+from repro.obs.timeseries import WindowedRecorder, _WindowFeed
 from repro.policies.lru import LRUPolicy
 from repro.sim.metrics import (
     harmonic_mean_normalized_ipc,
     throughput,
     weighted_ipc,
 )
-from repro.sim.single_core import _check_engine, run_llc
+from repro.sim.single_core import _check_engine, _resolve_recorder, run_llc
 from repro.traces.trace import Trace
 from repro.workloads.mixes import interleave_traces
 
@@ -95,6 +96,8 @@ def run_shared_llc(
     manifest_dir: str | os.PathLike | None = None,
     run_label: str | None = None,
     run_meta: dict | None = None,
+    timeseries: WindowedRecorder | None = None,
+    window_size: int | None = None,
 ) -> MultiCoreResult:
     """Run a multi-programmed mix on a shared LLC under ``policy``.
 
@@ -118,8 +121,19 @@ def run_shared_llc(
             (mix, policy) grid key); defaults to the policy class name.
         run_meta: extra JSON-native manifest context; a ``seed`` key is
             lifted into the manifest's ``seed`` field.
+        timeseries: a :class:`repro.obs.timeseries.WindowedRecorder` for
+            per-window statistics over the interleaved stream, including
+            per-thread ``thread_accesses``/``thread_hits``/... shares
+            that honour the freeze rule (a finished thread stops
+            contributing). Windows are bit-identical across engines and
+            chunk sizes; the payload lands in
+            ``result.extra["timeseries"]`` and the manifest.
+        window_size: convenience alternative to ``timeseries`` — record
+            with a fresh default-budget recorder of this window size
+            (mutually exclusive with ``timeseries``).
     """
     _check_engine(engine)
+    recorder = _resolve_recorder(timeseries, window_size)
     if chunk_size is not None and chunk_size <= 0:
         raise ValueError(f"chunk_size must be positive, got {chunk_size}")
     timing = timing or TimingModel()
@@ -129,25 +143,30 @@ def run_shared_llc(
         singles = single_thread_baselines(traces, geometry, timing, engine=engine)
     mixed, completion = interleave_traces(traces)
     cache = SetAssociativeCache(geometry, policy)
+    if recorder is not None:
+        recorder.attach(cache, policy, num_threads=num_threads)
 
-    if engine == "fast" and chunk_size is not None:
+    if engine == "fast" and (chunk_size is not None or recorder is not None):
         accesses = [0] * num_threads
         hits = [0] * num_threads
         misses = [0] * num_threads
         bypasses = [0] * num_threads
-        for begin in range(0, len(mixed), chunk_size):
-            chunk = mixed.slice(begin, begin + chunk_size)
+        feed = _WindowFeed(recorder, chunk_limit=chunk_size)
+        begin = 0
+        for sub, take in feed.slices(mixed):
             part = run_shared_trace(
-                cache, chunk, completion, position_offset=begin
+                cache, sub, completion, position_offset=begin
             )
             for totals, counts in zip((accesses, hits, misses, bypasses), part):
                 for thread, count in enumerate(counts):
                     totals[thread] += count
+            feed.account(take, part)
+            begin += take
     elif engine == "fast":
         accesses, hits, misses, bypasses = run_shared_trace(
             cache, mixed, completion
         )
-    else:
+    elif recorder is None:
         accesses = [0] * num_threads
         hits = [0] * num_threads
         misses = [0] * num_threads
@@ -167,6 +186,41 @@ def run_shared_llc(
                     bypasses[thread] += 1
             if position + 1 >= completion[thread]:
                 frozen[thread] = True
+    else:
+        # Reference loop, windowed: identical per-access semantics, but
+        # split at window boundaries with window-local per-thread counts.
+        accesses = [0] * num_threads
+        hits = [0] * num_threads
+        misses = [0] * num_threads
+        bypasses = [0] * num_threads
+        frozen = [False] * num_threads
+        position = 0
+        total = len(mixed)
+        while position < total:
+            take = min(total - position, recorder.pending())
+            part = [[0] * num_threads for _ in range(4)]
+            for access in mixed.slice(position, position + take):
+                outcome = cache.access(access)
+                thread = access.thread_id
+                position += 1
+                if frozen[thread]:
+                    continue
+                part[0][thread] += 1
+                if outcome.hit:
+                    part[1][thread] += 1
+                else:
+                    part[2][thread] += 1
+                    if outcome.bypassed:
+                        part[3][thread] += 1
+                if position >= completion[thread]:
+                    frozen[thread] = True
+            for totals, counts in zip((accesses, hits, misses, bypasses), part):
+                for thread, count in enumerate(counts):
+                    totals[thread] += count
+            recorder.advance(take, part)
+
+    if recorder is not None:
+        recorder.finalize()
 
     outcomes: list[ThreadOutcome] = []
     for thread in range(num_threads):
@@ -199,6 +253,8 @@ def run_shared_llc(
         hmean=harmonic_mean_normalized_ipc(ipcs, singles),
         extra={"singles": singles},
     )
+    if recorder is not None:
+        result.extra["timeseries"] = recorder.to_dict()
     if manifest_dir is not None:
         meta = dict(run_meta or {})
         total_accesses = len(mixed)
@@ -241,6 +297,7 @@ def run_shared_llc(
                 "hmean": result.hmean,
             },
             telemetry=TELEMETRY.snapshot() if TELEMETRY.enabled else {},
+            timeseries=recorder.to_dict() if recorder is not None else {},
             extra=meta,
         ).save(manifest_dir)
     return result

@@ -60,6 +60,7 @@ from repro.memory.timing import TimingModel
 from repro.obs.manifest import Manifest, TaskFailure, trace_fingerprint
 from repro.obs.manifest import git_sha as _git_sha
 from repro.obs.progress import ProgressEvent, ProgressReporter
+from repro.obs.telemetry import TELEMETRY
 from repro.obs.trace_log import EVENTS_FILENAME, TraceLog
 from repro.sim.multi_core import MultiCoreResult, run_shared_llc
 from repro.sim.single_core import SingleCoreResult, run_llc
@@ -118,6 +119,22 @@ def _load_packed_trace(path: str, as_stream: bool = False) -> Trace | TraceStrea
     return trace
 
 
+def _task_telemetry_begin() -> None:
+    """Start a clean per-task telemetry scope inside a pool worker.
+
+    Workers are reused across tasks (and fork inherits the parent's
+    accumulated state), so without a reset each snapshot would bleed the
+    previous tasks' counters into the next result.
+    """
+    if TELEMETRY.enabled:
+        TELEMETRY.reset()
+
+
+def _task_telemetry_snapshot() -> dict | None:
+    """The worker's telemetry for the task just run, or None when off."""
+    return TELEMETRY.snapshot() if TELEMETRY.enabled else None
+
+
 def _run_packed_task(
     trace_path: str,
     key,
@@ -129,8 +146,9 @@ def _run_packed_task(
     as_stream: bool = False,
 ):
     """Worker entry: one simulation against the shared packed trace."""
+    _task_telemetry_begin()
     trace = _load_packed_trace(trace_path, as_stream=as_stream)
-    return key, run_llc(
+    result = run_llc(
         trace,
         factory(),
         geometry,
@@ -139,6 +157,7 @@ def _run_packed_task(
         manifest_dir=manifest_dir,
         run_label=str(key),
     )
+    return key, result, _task_telemetry_snapshot()
 
 
 def _run_shared_task(
@@ -153,8 +172,9 @@ def _run_shared_task(
     manifest_dir: str | None,
 ):
     """Worker entry: one shared-LLC mix run against packed thread traces."""
+    _task_telemetry_begin()
     traces = [_load_packed_trace(path) for path in trace_paths]
-    return key, run_shared_llc(
+    result = run_shared_llc(
         traces,
         factory(),
         geometry,
@@ -165,6 +185,7 @@ def _run_shared_task(
         manifest_dir=manifest_dir,
         run_label=str(key),
     )
+    return key, result, _task_telemetry_snapshot()
 
 
 class _GridObserver:
@@ -269,6 +290,10 @@ def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback, observ
     Infrastructure failures (payload dir / pool setup, a broken pool)
     invoke ``serial_fallback``; exceptions raised *by a task* are
     collected as failures for the caller to record and re-raise.
+    Worker tasks return ``(key, result, telemetry_snapshot)``; non-None
+    snapshots are merged into this process's :data:`TELEMETRY` sink as
+    each future completes, so counters recorded inside workers are not
+    lost (the serial path records into the sink directly).
     """
     try:
         payload_dir = tempfile.TemporaryDirectory(prefix="repro-trace-")
@@ -297,7 +322,7 @@ def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback, observ
                 for future in as_completed(future_keys):
                     key = future_keys[future]
                     try:
-                        result_key, result = future.result()
+                        result_key, result, telemetry = future.result()
                     except BrokenProcessPool:
                         raise
                     except Exception as exc:  # noqa: BLE001 — see docstring
@@ -306,6 +331,8 @@ def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback, observ
                             observer.failed(key, exc)
                     else:
                         results[result_key] = result
+                        if telemetry is not None:
+                            TELEMETRY.merge_snapshot(telemetry)
                         if observer is not None:
                             observer.finished(key)
             except BrokenProcessPool:
@@ -467,6 +494,7 @@ def run_matrix(
             accesses_per_sec=(length * len(items)) / wall if wall > 0 else 0.0,
             tasks=obs.task_records(),
             failures=list(obs.failures),
+            telemetry=TELEMETRY.snapshot() if TELEMETRY.enabled else {},
         )
 
     _finish_grid(observer, manifest_out, failures, sweep_manifest)
@@ -615,6 +643,7 @@ def run_mix_matrix(
             accesses_per_sec=total_accesses / wall if wall > 0 else 0.0,
             tasks=obs.task_records(),
             failures=list(obs.failures),
+            telemetry=TELEMETRY.snapshot() if TELEMETRY.enabled else {},
         )
 
     _finish_grid(observer, manifest_out, failures, sweep_manifest)

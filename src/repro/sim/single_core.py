@@ -28,6 +28,7 @@ from repro.memory.timing import TimingModel
 from repro.obs.manifest import FingerprintAccumulator, Manifest, trace_fingerprint
 from repro.obs.manifest import git_sha as _git_sha
 from repro.obs.telemetry import TELEMETRY
+from repro.obs.timeseries import WindowedRecorder, _WindowFeed, active_recorder
 from repro.traces.stream import TraceStream, as_stream
 from repro.traces.trace import Trace
 
@@ -41,6 +42,19 @@ def _check_engine(engine: str) -> None:
     """Reject unknown engine names early, before any setup work."""
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+
+
+def _resolve_recorder(
+    timeseries: WindowedRecorder | None, window_size: int | None
+) -> WindowedRecorder | None:
+    """The run's active recorder: an explicit enabled ``timeseries``
+    recorder, a fresh default-budget one when only ``window_size`` was
+    given, or None (recording disabled — the zero-overhead path)."""
+    if timeseries is not None and window_size is not None:
+        raise ValueError("pass either timeseries= or window_size=, not both")
+    if window_size is not None:
+        return WindowedRecorder(window_size=window_size)
+    return active_recorder(timeseries)
 
 
 def _stream_fingerprint(stream: TraceStream) -> str:
@@ -63,6 +77,7 @@ def emit_run_manifest(
     run_label: str | None = None,
     run_meta: dict | None = None,
     fingerprint: str | None = None,
+    timeseries: dict | None = None,
 ) -> None:
     """Write one per-run provenance manifest (see ``repro.obs.manifest``).
 
@@ -113,6 +128,7 @@ def emit_run_manifest(
             "bypass_fraction": result.bypass_fraction,
         },
         telemetry=TELEMETRY.snapshot() if TELEMETRY.enabled else {},
+        timeseries=timeseries or {},
         extra=meta,
     ).save(manifest_dir)
 
@@ -160,6 +176,8 @@ def run_llc(
     manifest_dir: str | os.PathLike | None = None,
     run_label: str | None = None,
     run_meta: dict | None = None,
+    timeseries: WindowedRecorder | None = None,
+    window_size: int | None = None,
 ) -> SingleCoreResult:
     """Drive ``trace`` into an LLC governed by ``policy``.
 
@@ -183,8 +201,19 @@ def run_llc(
             sweep cell key); defaults to the policy class name.
         run_meta: extra JSON-native context for the manifest; a ``seed``
             key is lifted into the manifest's ``seed`` field.
+        timeseries: a :class:`repro.obs.timeseries.WindowedRecorder` to
+            fill with per-window statistics. The simulation is split at
+            absolute window boundaries, so the recorded windows are
+            bit-identical across engines and chunk sizes; a disabled (or
+            absent) recorder keeps the exact pre-existing code path.
+            The window payload lands in ``result.extra["timeseries"]``
+            and in the manifest when one is written.
+        window_size: convenience alternative to ``timeseries``: record
+            with a fresh default-budget recorder of this window size
+            (mutually exclusive with ``timeseries``).
     """
     _check_engine(engine)
+    recorder = _resolve_recorder(timeseries, window_size)
     timing = timing or TimingModel()
     start = perf_counter()
     stream = as_stream(trace)
@@ -193,17 +222,23 @@ def run_llc(
     if track_occupancy:
         tracker = OccupancyTracker(short_threshold=occupancy_threshold)
         cache.observers.append(tracker)
+    if recorder is not None:
+        recorder.attach(cache, policy)
+    feed = _WindowFeed(recorder)
     fingerprinter = FingerprintAccumulator() if manifest_dir is not None else None
     total_accesses = 0
     for chunk in stream.chunks():
-        if engine == "fast":
-            run_trace(cache, chunk)
-        else:
-            for access in chunk:
-                cache.access(access)
+        for sub, take in feed.slices(chunk):
+            if engine == "fast":
+                run_trace(cache, sub)
+            else:
+                for access in sub:
+                    cache.access(access)
+            feed.account(take)
         total_accesses += len(chunk)
         if fingerprinter is not None:
             fingerprinter.update(chunk)
+    feed.finish()
     stats = cache.stats
     instructions = int(round(total_accesses * stream.instructions_per_access))
     ipc = timing.ipc(
@@ -223,6 +258,8 @@ def run_llc(
         extra["final_pd"] = pd_engine.current_pd
     if hasattr(policy, "current_pd"):
         extra["current_pd"] = policy.current_pd
+    if recorder is not None:
+        extra["timeseries"] = recorder.to_dict()
     result = SingleCoreResult(
         name=stream.name,
         accesses=stats.accesses,
@@ -249,6 +286,7 @@ def run_llc(
             fingerprint=fingerprinter.digest(
                 stream.name, stream.instructions_per_access
             ),
+            timeseries=recorder.to_dict() if recorder is not None else None,
         )
     return result
 
@@ -262,6 +300,8 @@ def run_hierarchy(
     manifest_dir: str | os.PathLike | None = None,
     run_label: str | None = None,
     run_meta: dict | None = None,
+    timeseries: WindowedRecorder | None = None,
+    window_size: int | None = None,
 ) -> SingleCoreResult:
     """Drive ``trace`` through L1 -> L2 -> LLC (Table 1 defaults).
 
@@ -269,10 +309,15 @@ def run_hierarchy(
     :class:`TraceStream` (the :func:`run_llc` streaming contract).
     ``manifest_dir`` / ``run_label`` / ``run_meta`` follow the
     :func:`run_llc` contract (manifest ``kind`` is ``"hierarchy"``).
+    ``timeseries`` / ``window_size`` follow :func:`run_llc` too, with one
+    twist: the recorder observes the **LLC**, so window boundaries count
+    trace (L1) positions while the counters are LLC-stat deltas — windows
+    where the upper levels absorb everything are legitimately all-zero.
     """
     from repro.sim.config import MachineConfig
 
     _check_engine(engine)
+    recorder = _resolve_recorder(timeseries, window_size)
     machine = machine or MachineConfig()
     start = perf_counter()
     timing = timing or machine.timing()
@@ -283,16 +328,22 @@ def run_hierarchy(
         l2_geometry=machine.l2,
         llc_geometry=machine.llc,
     )
+    if recorder is not None:
+        recorder.attach(hierarchy.llc, llc_policy)
+    feed = _WindowFeed(recorder)
     fingerprinter = FingerprintAccumulator() if manifest_dir is not None else None
     total_accesses = 0
     for chunk in stream.chunks():
-        if engine == "fast":
-            run_hierarchy_trace(hierarchy, chunk)
-        else:
-            hierarchy.run(iter(chunk))
+        for sub, take in feed.slices(chunk):
+            if engine == "fast":
+                run_hierarchy_trace(hierarchy, sub)
+            else:
+                hierarchy.run(iter(sub))
+            feed.account(take)
         total_accesses += len(chunk)
         if fingerprinter is not None:
             fingerprinter.update(chunk)
+    feed.finish()
     result = hierarchy.result
     instructions = int(round(total_accesses * stream.instructions_per_access))
     ipc = timing.ipc(
@@ -301,6 +352,9 @@ def run_hierarchy(
         llc_hits=result.llc_hits,
         memory_accesses=result.memory_accesses,
     )
+    hierarchy_extra: dict = {"hierarchy": result}
+    if recorder is not None:
+        hierarchy_extra["timeseries"] = recorder.to_dict()
     outcome = SingleCoreResult(
         name=stream.name,
         accesses=result.accesses,
@@ -309,7 +363,7 @@ def run_hierarchy(
         bypasses=result.llc_bypasses,
         instructions=instructions,
         ipc=ipc,
-        extra={"hierarchy": result},
+        extra=hierarchy_extra,
     )
     if manifest_dir is not None:
         emit_run_manifest(
@@ -326,6 +380,7 @@ def run_hierarchy(
             fingerprint=fingerprinter.digest(
                 stream.name, stream.instructions_per_access
             ),
+            timeseries=recorder.to_dict() if recorder is not None else None,
         )
     return outcome
 

@@ -8,6 +8,11 @@ statistics (hits, misses, evictions, bypasses, instructions). The
 shared-LLC variant additionally pins the thread-freeze rule across the
 one-shot and chunked fast paths.
 
+Every run also carries a :class:`repro.obs.timeseries.WindowedRecorder`:
+the per-window payloads must be bit-identical across all three paths
+(window boundaries sit at absolute positions, so chunking cannot shift
+them) and the sum of the windows must equal the end-of-run aggregates.
+
 The full sweep (every registered policy, several seeds) is marked
 ``conformance`` + ``slow`` and runs in CI's conformance job; a small
 unmarked smoke subset keeps the default tier-1 gate exercising the
@@ -23,6 +28,7 @@ import numpy as np
 import pytest
 
 from repro.memory.cache import CacheGeometry
+from repro.obs.timeseries import WindowedRecorder
 from repro.policies.base import make_policy, registered_policies
 from repro.policies.belady import BeladyPolicy
 from repro.sim.multi_core import run_shared_llc
@@ -99,16 +105,27 @@ def _random_geometry(rng: random.Random) -> CacheGeometry:
 
 def _assert_conformant(policy_name: str, trace: Trace, geometry: CacheGeometry,
                        chunk_size: int) -> None:
-    """Reference, fast, and fast+chunked runs must agree exactly."""
+    """Reference, fast, and fast+chunked runs must agree exactly —
+    including every per-window payload of an attached recorder."""
+    window_size = max(64, len(trace) // 5)
+    recorders = {
+        label: WindowedRecorder(window_size=window_size)
+        for label in ("reference", "fast", "chunked")
+    }
     reference = run_llc(
-        trace, _fresh_policy(policy_name, trace), geometry, engine="reference"
+        trace, _fresh_policy(policy_name, trace), geometry, engine="reference",
+        timeseries=recorders["reference"],
     )
-    fast = run_llc(trace, _fresh_policy(policy_name, trace), geometry, engine="fast")
+    fast = run_llc(
+        trace, _fresh_policy(policy_name, trace), geometry, engine="fast",
+        timeseries=recorders["fast"],
+    )
     chunked = run_llc(
         TraceStream.from_trace(trace, chunk_size=chunk_size),
         _fresh_policy(policy_name, trace),
         geometry,
         engine="fast",
+        timeseries=recorders["chunked"],
     )
     for field in RESULT_FIELDS:
         ref_value = getattr(reference, field)
@@ -119,6 +136,23 @@ def _assert_conformant(policy_name: str, trace: Trace, geometry: CacheGeometry,
         assert getattr(chunked, field) == ref_value, (
             f"{policy_name}: chunked(chunk_size={chunk_size}).{field} "
             f"diverges from reference on {trace.name} ({len(trace)} accesses)"
+        )
+    ref_windows = recorders["reference"].to_dict()
+    for label in ("fast", "chunked"):
+        assert recorders[label].to_dict() == ref_windows, (
+            f"{policy_name}: {label} windowed stats diverge from reference "
+            f"(window_size={window_size}, chunk_size={chunk_size})"
+        )
+    totals = recorders["reference"].totals()
+    for window_field, result_field in (
+        ("accesses", "accesses"),
+        ("hits", "hits"),
+        ("misses", "misses"),
+        ("bypasses", "bypasses"),
+        ("evictions", "evictions"),
+    ):
+        assert totals[window_field] == getattr(reference, result_field), (
+            f"{policy_name}: sum of per-window {window_field} != aggregate"
         )
 
 
@@ -155,20 +189,30 @@ def _shared_policy(name: str, traces: list[Trace]):
 
 def _assert_shared_conformant(policy_name: str, traces: list[Trace],
                               geometry: CacheGeometry, chunk_size: int) -> None:
-    """Per-thread frozen statistics must agree across all three paths."""
+    """Per-thread frozen statistics must agree across all three paths —
+    including per-window shares from an attached recorder."""
+    total = sum(len(t) for t in traces)
+    window_size = max(64, total // 5)
+    recorders = {
+        label: WindowedRecorder(window_size=window_size)
+        for label in ("reference", "fast", "chunked")
+    }
     singles = [1.0] * len(traces)  # skip baselines: not under test
     runs = {
         "reference": run_shared_llc(
             traces, _shared_policy(policy_name, traces), geometry,
             singles=singles, engine="reference",
+            timeseries=recorders["reference"],
         ),
         "fast": run_shared_llc(
             traces, _shared_policy(policy_name, traces), geometry,
             singles=singles, engine="fast",
+            timeseries=recorders["fast"],
         ),
         "chunked": run_shared_llc(
             traces, _shared_policy(policy_name, traces), geometry,
             singles=singles, engine="fast", chunk_size=chunk_size,
+            timeseries=recorders["chunked"],
         ),
     }
     reference = runs["reference"]
@@ -180,6 +224,26 @@ def _assert_shared_conformant(policy_name: str, traces: list[Trace],
                     f"{policy_name}: {label} thread {thread} {field} diverges "
                     f"from reference (chunk_size={chunk_size})"
                 )
+    ref_windows = recorders["reference"].to_dict()
+    for label in ("fast", "chunked"):
+        assert recorders[label].to_dict() == ref_windows, (
+            f"{policy_name}: {label} shared windowed stats diverge from "
+            f"reference (window_size={window_size}, chunk_size={chunk_size})"
+        )
+    # Per-window thread shares must sum to the frozen per-thread aggregates.
+    windows = recorders["reference"].windows
+    for thread, want in enumerate(reference.threads):
+        for field, slot in (("accesses", "thread_accesses"),
+                            ("hits", "thread_hits"),
+                            ("misses", "thread_misses"),
+                            ("bypasses", "thread_bypasses")):
+            summed = sum(
+                (getattr(w, slot) or [0] * len(traces))[thread] for w in windows
+            )
+            assert summed == getattr(want, field), (
+                f"{policy_name}: thread {thread} per-window {field} sum "
+                f"!= frozen aggregate"
+            )
 
 
 @pytest.mark.conformance

@@ -90,3 +90,30 @@ def test_golden_fixture_covers_every_pinned_cell(golden):
     }
     assert set(golden["cells"]) == expected_cells
     assert set(golden["trace_fingerprints"]) == set(workloads)
+
+
+def test_windowed_sums_match_golden_aggregates(golden):
+    """Per-window counter sums must equal the pinned golden aggregates —
+    the windowed recorder is a decomposition of the same run, not a
+    second measurement."""
+    from repro.memory.cache import CacheGeometry
+    from repro.obs.timeseries import WindowedRecorder
+    from repro.policies.base import make_policy
+    from repro.sim.single_core import run_llc
+
+    regen = _load_regen_module()
+    geometry = CacheGeometry(num_sets=16, ways=8)
+    for workload_name, trace in sorted(regen._workloads().items()):
+        for policy_name in regen.POLICIES:
+            recorder = WindowedRecorder(window_size=700)  # partial tail
+            run_llc(
+                trace, make_policy(policy_name), geometry,
+                timeseries=recorder,
+            )
+            totals = recorder.totals()
+            pinned = golden["cells"][f"{workload_name}/{policy_name}"]
+            for field in ("accesses", "hits", "misses", "bypasses", "evictions"):
+                assert totals[field] == pinned[field], (
+                    f"{workload_name}/{policy_name}: windowed {field} sum "
+                    f"{totals[field]} != golden aggregate {pinned[field]}"
+                )

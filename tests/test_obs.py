@@ -132,6 +132,43 @@ class TestManifest:
         assert "policy exploded" in text
         assert summarize_manifests([]) == "no manifests found"
 
+    def test_summarize_reports_evictions_and_window_counts(self):
+        run = self._rich_manifest()
+        run.tasks = []
+        run.stats = dict(run.stats, evictions=4321)
+        run.timeseries = {"windows_closed": 7, "windows": []}
+        text = summarize_manifests([run])
+        assert "evics" in text and "windows" in text
+        assert "4321" in text
+        row = next(line for line in text.splitlines() if "obs-test" in line)
+        assert " 7 " in row or row.rstrip().endswith(" 7")
+
+    def test_summarize_degrades_gracefully_on_old_schema(self):
+        """A v1 manifest (no timeseries field) must render with blank
+        columns and a version-skew note, not crash."""
+        old = self._rich_manifest()
+        old.tasks = []
+        old.schema_version = 1
+        old.timeseries = {}
+        old.stats = {}
+        text = summarize_manifests([old])
+        assert "obs-test" in text
+        assert "different schema version" in text
+
+    def test_v1_manifest_file_loads_with_empty_timeseries(self, tmp_path):
+        """Round-trip a hand-built v1 document through the loader."""
+        manifest = self._rich_manifest()
+        manifest.tasks = []
+        path = manifest.save(tmp_path)
+        data = json.loads(path.read_text())
+        data["schema_version"] = 1
+        del data["timeseries"]
+        path.write_text(json.dumps(data))
+        loaded = Manifest.load(path)
+        assert loaded.timeseries == {}
+        assert loaded.schema_version == 1
+        assert "different schema version" in summarize_manifests([loaded])
+
 
 class TestRunManifests:
     def test_run_llc_emits_manifest(self, tmp_path):
@@ -307,6 +344,7 @@ class TestDocstringGate:
                 "90",
                 str(REPO_ROOT / "src" / "repro" / "obs"),
                 str(REPO_ROOT / "src" / "repro" / "sim"),
+                str(REPO_ROOT / "tools" / "bench_regress.py"),
             ],
             capture_output=True,
             text=True,
@@ -314,3 +352,20 @@ class TestDocstringGate:
         )
         assert result.returncode == 0, result.stdout + result.stderr
         assert "PASSED" in result.stdout
+
+    def test_obs_package_fully_documented(self):
+        """``repro.obs`` is held to 100% — it is the documented API
+        surface of the observability layer."""
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "tools" / "check_docstrings.py"),
+                "--fail-under",
+                "100",
+                str(REPO_ROOT / "src" / "repro" / "obs"),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr

@@ -227,3 +227,76 @@ def test_run_mix_matrix_worker_error_propagates(max_workers):
     factories = {"boom": ExplodingPolicy}
     with pytest.raises(RuntimeError, match="policy exploded"):
         run_mix_matrix(_mixes(), factories, GEOMETRY, max_workers=max_workers)
+
+
+class TestWorkerTelemetry:
+    """Counters recorded inside pool workers must reach the parent sink.
+
+    Before the per-task snapshot plumbing, pooled sweeps silently lost
+    every counter incremented in a worker process: the kernels recorded
+    into the *worker's* ``TELEMETRY`` global and the parent's stayed
+    empty. Each task now ships its snapshot back with the result and the
+    parent merges it (and embeds the merged totals in the sweep
+    manifest).
+    """
+
+    @pytest.fixture(autouse=True)
+    def _clean_telemetry(self):
+        from repro.obs.telemetry import TELEMETRY
+
+        TELEMETRY.reset()
+        TELEMETRY.enable()
+        yield
+        TELEMETRY.disable()
+        TELEMETRY.reset()
+
+    def test_pooled_matrix_counters_reach_parent(self, trace):
+        from repro.obs.telemetry import TELEMETRY
+
+        factories = {"lru": LRUPolicy, "drrip": DRRIPPolicy}
+        run_matrix(trace, factories, GEOMETRY, max_workers=2)
+        accesses = TELEMETRY.counters.get("fastpath.accesses", 0)
+        assert accesses == len(trace) * len(factories)
+
+    def test_serial_and_pooled_totals_agree(self, trace):
+        from repro.obs.telemetry import TELEMETRY
+
+        factories = {"lru": LRUPolicy, "drrip": DRRIPPolicy}
+        run_matrix(trace, factories, GEOMETRY, max_workers=1)
+        serial = dict(TELEMETRY.counters)
+        TELEMETRY.reset()
+        run_matrix(trace, factories, GEOMETRY, max_workers=2)
+        assert dict(TELEMETRY.counters) == serial
+
+    def test_sweep_manifest_embeds_merged_telemetry(self, trace, tmp_path):
+        from repro.obs.manifest import load_manifests
+
+        run_matrix(
+            trace, {"lru": LRUPolicy}, GEOMETRY, max_workers=2,
+            manifest_dir=tmp_path,
+        )
+        sweep = [m for m in load_manifests(tmp_path) if m.kind == "matrix"]
+        assert len(sweep) == 1
+        counters = sweep[0].telemetry.get("counters", {})
+        assert counters.get("fastpath.accesses", 0) >= len(trace)
+
+    def test_merge_snapshot_sums_counters_and_timers(self):
+        from repro.obs.telemetry import Telemetry
+
+        sink = Telemetry(enabled=True)
+        sink.count("a", 2)
+        sink.record("t", 0.5)
+        sink.merge_snapshot(
+            {"counters": {"a": 3, "b": 1},
+             "timers": {"t": {"calls": 2, "total_s": 1.0},
+                        "u": {"calls": 1, "total_s": 0.25}}}
+        )
+        assert sink.counters == {"a": 5, "b": 1}
+        assert sink.timers == {"t": [3, 1.5], "u": [1, 0.25]}
+
+    def test_merge_snapshot_works_while_disabled(self):
+        from repro.obs.telemetry import Telemetry
+
+        sink = Telemetry(enabled=False)
+        sink.merge_snapshot({"counters": {"a": 7}, "timers": {}})
+        assert sink.counters == {"a": 7}
