@@ -1,4 +1,4 @@
-"""Engine speed benchmark: batched kernel vs reference loop, parallel sweep.
+"""Engine speed benchmark: columnar vs batched kernel vs reference loop.
 
 Standalone script (not a pytest benchmark) so CI can run it as a perf
 smoke test::
@@ -8,19 +8,25 @@ smoke test::
 Measures, on a 403.gcc-like trace at the experiment geometry (64 sets x
 16 ways):
 
-- accesses/second for LRU and PDP under both engines (the headline
-  fast-vs-reference speedup; acceptance bar is >= 3x on the 500K LRU run);
-- an 8-point static-PD sweep three ways: serial with the reference
+- accesses/second for LRU and PDP under all three engines (reference,
+  fast, and the columnar vector tier; acceptance bars are >= 3x
+  fast-vs-reference on the 500K LRU run and >= 5x vector-vs-the-committed
+  fast baseline for PDP);
+- an 8-point static-PD sweep four ways: serial with the reference
   engine (the pre-fast-path pipeline), serial with the batched kernel,
-  and the parallel runner. On a single-CPU host the parallel runner
-  falls back to serial and only the engine speedup shows; on multicore
-  hosts the worker scaling appears on top of it.
+  serial with the vector engine, and the parallel runner. On a
+  single-CPU host the parallel runner falls back to serial and only the
+  engine speedup shows; on multicore hosts the worker scaling appears
+  on top of it.
 
-``--check`` exits non-zero if the fast engine is slower than the
-reference for any measured policy. Results land in ``BENCH_engine.json``
-at the repo root (override with ``--out``), wrapped in the canonical
-benchmark schema of :mod:`repro.obs.bench` (machine fingerprint, git
-SHA, ``engine/policy`` throughput map, peak RSS); ``--trajectory FILE``
+``--check`` exits non-zero if the fast or vector engine is slower than
+the reference for any measured policy. ``--profile [N]`` additionally
+runs each engine x policy cell once under cProfile and prints the top N
+functions by cumulative time (default 15) to stderr — the standing tool
+for hot-spot hunts. Results land in ``BENCH_engine.json`` at the repo
+root (override with ``--out``), wrapped in the canonical benchmark
+schema of :mod:`repro.obs.bench` (machine fingerprint, git SHA,
+``engine/policy`` throughput map, peak RSS); ``--trajectory FILE``
 additionally appends the record to the JSONL perf-trajectory file.
 """
 
@@ -46,6 +52,7 @@ from repro.workloads.spec_like import make_benchmark_trace  # noqa: E402
 
 BENCHMARK = "403.gcc"
 PD_GRID = list(range(16, 144, 16))  # 8 sweep points
+ENGINES = ("reference", "fast", "vector")
 
 
 def _timed(func, *args, **kwargs):
@@ -55,42 +62,47 @@ def _timed(func, *args, **kwargs):
 
 
 def _engine_pair(trace, factory, repeats: int) -> dict:
-    """Best-of-``repeats`` accesses/second for both engines."""
-    times = {"reference": float("inf"), "fast": float("inf")}
+    """Best-of-``repeats`` accesses/second for every engine tier."""
+    times = {engine: float("inf") for engine in ENGINES}
     results = {}
     for _ in range(repeats):
-        for engine in ("reference", "fast"):
+        for engine in ENGINES:
             result, elapsed = _timed(
                 run_llc, trace, factory(), EXPERIMENT_GEOMETRY,
                 timing=TIMING, engine=engine,
             )
             times[engine] = min(times[engine], elapsed)
             results[engine] = result
-    assert (
-        results["fast"].hits == results["reference"].hits
-        and results["fast"].misses == results["reference"].misses
-    ), "engines diverged"
+    for engine in ENGINES[1:]:
+        assert (
+            results[engine].hits == results["reference"].hits
+            and results[engine].misses == results["reference"].misses
+        ), f"{engine} engine diverged from reference"
     n = len(trace)
-    return {
-        "accesses": n,
-        "reference_seconds": round(times["reference"], 4),
-        "fast_seconds": round(times["fast"], 4),
-        "reference_accesses_per_sec": round(n / times["reference"]),
-        "fast_accesses_per_sec": round(n / times["fast"]),
-        "speedup": round(times["reference"] / times["fast"], 2),
-    }
+    report = {"accesses": n}
+    for engine in ENGINES:
+        report[f"{engine}_seconds"] = round(times[engine], 4)
+        report[f"{engine}_accesses_per_sec"] = round(n / times[engine])
+    report["speedup"] = round(times["reference"] / times["fast"], 2)
+    report["vector_speedup"] = round(times["reference"] / times["vector"], 2)
+    return report
 
 
 def _sweep_triple(trace, workers: int, repeats: int) -> dict:
-    """The 8-point PD sweep: serial-reference vs serial-fast vs parallel."""
-    serial_ref = serial_fast = parallel = float("inf")
+    """The 8-point PD sweep: serial per engine vs the parallel runner
+    (which defaults to the vector engine)."""
+    serial_ref = serial_fast = serial_vector = parallel = float("inf")
     for _ in range(repeats):
         _, t = _timed(
             sweep_static_pd, trace, EXPERIMENT_GEOMETRY, PD_GRID, engine="reference"
         )
         serial_ref = min(serial_ref, t)
-        _, t = _timed(sweep_static_pd, trace, EXPERIMENT_GEOMETRY, PD_GRID)
+        _, t = _timed(
+            sweep_static_pd, trace, EXPERIMENT_GEOMETRY, PD_GRID, engine="fast"
+        )
         serial_fast = min(serial_fast, t)
+        _, t = _timed(sweep_static_pd, trace, EXPERIMENT_GEOMETRY, PD_GRID)
+        serial_vector = min(serial_vector, t)
         _, t = _timed(
             parallel_sweep_static_pd,
             trace,
@@ -104,10 +116,45 @@ def _sweep_triple(trace, workers: int, repeats: int) -> dict:
         "workers": workers,
         "serial_reference_seconds": round(serial_ref, 4),
         "serial_fast_seconds": round(serial_fast, 4),
+        "serial_vector_seconds": round(serial_vector, 4),
         "parallel_seconds": round(parallel, 4),
         "parallel_speedup_vs_serial_reference": round(serial_ref / parallel, 2),
         "parallel_speedup_vs_serial_fast": round(serial_fast / parallel, 2),
+        "parallel_speedup_vs_serial_vector": round(serial_vector / parallel, 2),
     }
+
+
+def profile_cells(length: int, top: int) -> None:
+    """One cProfile pass per engine x policy cell, top-N by cumulative.
+
+    Prints to stderr so ``--out -`` pipelines keep a parseable stdout.
+    """
+    import cProfile
+    import pstats
+
+    trace = make_benchmark_trace(
+        BENCHMARK, length=length, num_sets=EXPERIMENT_GEOMETRY.num_sets
+    )
+    kernels = {
+        "lru": LRUPolicy,
+        "pdp": lambda: PDPPolicy(recompute_interval=8192),
+    }
+    for name, factory in kernels.items():
+        for engine in ENGINES:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            run_llc(
+                trace, factory(), EXPERIMENT_GEOMETRY,
+                timing=TIMING, engine=engine,
+            )
+            profiler.disable()
+            print(
+                f"\n=== profile: engine={engine} policy={name} "
+                f"(top {top} by cumulative time) ===",
+                file=sys.stderr,
+            )
+            stats = pstats.Stats(profiler, stream=sys.stderr)
+            stats.sort_stats("cumulative").print_stats(top)
 
 
 def run_benchmark(length: int, repeats: int, workers: int) -> dict:
@@ -157,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
         "--trajectory", default=None,
         help="also append the canonical record to this JSONL trajectory file",
     )
+    parser.add_argument(
+        "--profile", type=int, nargs="?", const=15, default=None,
+        metavar="N",
+        help="run each engine x policy cell once under cProfile and print "
+        "the top N functions by cumulative time (default 15) to stderr",
+    )
     args = parser.parse_args(argv)
 
     length = args.length or (50_000 if args.quick else 500_000)
@@ -176,17 +229,21 @@ def main(argv: list[str] | None = None) -> int:
         append_trajectory(record, args.trajectory)
         print(f"[appended to {args.trajectory}]", file=sys.stderr)
 
+    if args.profile is not None:
+        profile_cells(length, max(1, args.profile))
+
     if args.check:
         slow = [
-            name
+            f"{name}:{label}"
             for name, pair in report["kernels"].items()
-            if pair["speedup"] < 1.0
+            for label, key in (("fast", "speedup"), ("vector", "vector_speedup"))
+            if pair[key] < 1.0
         ]
         if slow:
-            print(f"FAIL: fast engine slower than reference for {slow}",
+            print(f"FAIL: engine slower than reference for {slow}",
                   file=sys.stderr)
             return 1
-        print("CHECK OK: fast engine >= reference for all policies",
+        print("CHECK OK: fast and vector engines >= reference for all policies",
               file=sys.stderr)
     return 0
 

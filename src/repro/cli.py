@@ -342,7 +342,18 @@ def _cmd_obs_bench(args) -> int:
 
     from repro.obs.bench import append_trajectory, run_micro_bench
 
-    record = run_micro_bench(length=args.length, repeats=args.repeats)
+    engines = tuple(
+        engine.strip() for engine in args.engines.split(",") if engine.strip()
+    )
+    try:
+        record = run_micro_bench(
+            length=args.length, repeats=args.repeats, engines=engines
+        )
+    except ValueError as exc:
+        print(f"obs bench failed: {exc}", file=sys.stderr)
+        return 1
+    measured = ", ".join(record["raw"]["engines"])
+    print(f"[measured engines: {measured}]", file=sys.stderr)
     print(json.dumps(record, indent=2, sort_keys=True))
     if args.out:
         Path(args.out).write_text(
@@ -459,9 +470,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace_file(run)
     run.add_argument(
         "--engine",
-        choices=("fast", "reference"),
-        default="fast",
-        help="simulation engine (reference = original per-access loop)",
+        choices=("vector", "fast", "reference"),
+        default="vector",
+        help="simulation engine (vector = columnar set-batched kernels, "
+        "fast = batched per-access kernel, reference = original "
+        "per-access loop)",
     )
     run.add_argument(
         "--trace-cache-dir",
@@ -518,10 +531,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--mixes", type=int, default=3)
     experiment.add_argument(
         "--engine",
-        choices=("fast", "reference"),
+        choices=("vector", "fast", "reference"),
         default="fast",
         help="simulation engine for fig12's shared-LLC runs "
-        "(reference = original per-access loop)",
+        "(vector is accepted as an alias for fast there; "
+        "reference = original per-access loop)",
     )
     experiment.add_argument(
         "--workers",
@@ -631,6 +645,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--repeats", type=int, default=1, help="best-of-N timing repeats"
+    )
+    bench.add_argument(
+        "--engines",
+        default="reference,fast,vector",
+        help="comma-separated engines to measure; the record names each "
+        "engine it actually ran in its throughput keys and raw report",
     )
     bench.add_argument(
         "--out", default=None, help="write the canonical record to this path"

@@ -110,12 +110,18 @@ def _legacy_kind(raw: dict) -> str | None:
 
 def throughput_map(raw: dict) -> dict[str, float]:
     """Flatten a native benchmark report's per-kernel throughput into
-    the canonical ``{"engine/policy": accesses_per_sec}`` mapping."""
+    the canonical ``{"engine/policy": accesses_per_sec}`` mapping.
+
+    Engines are discovered from the ``{engine}_accesses_per_sec`` keys
+    each kernel actually carries, so records stay faithful to whatever
+    engine set the producing script measured (reference/fast/vector/...).
+    """
+    suffix = "_accesses_per_sec"
     throughput: dict[str, float] = {}
     for policy, pair in raw.get("kernels", {}).items():
-        for engine in ("fast", "reference"):
-            value = pair.get(f"{engine}_accesses_per_sec")
-            if value is not None:
+        for key, value in pair.items():
+            if key.endswith(suffix) and value is not None:
+                engine = key[: -len(suffix)]
                 throughput[f"{engine}/{policy}"] = value
     return throughput
 
@@ -358,24 +364,34 @@ def render_report(
 def run_micro_bench(
     length: int = 50_000,
     repeats: int = 1,
+    engines: tuple[str, ...] = ("reference", "fast", "vector"),
 ) -> dict:
     """Measure engine x policy throughput in-process (the ``repro obs
     bench`` probe) and return a canonical ``kind="micro"`` record.
 
     A deliberately small cousin of ``benchmarks/bench_engine_speed.py``:
-    LRU and PDP under both engines on a cached 403.gcc-like trace,
-    best-of-``repeats`` accesses/second. Small enough for a laptop or CI
-    smoke run, but measured with the same kernels as the real suite so
-    trajectory trends are comparable.
+    LRU and PDP under every requested engine on a cached 403.gcc-like
+    trace, best-of-``repeats`` accesses/second. Small enough for a
+    laptop or CI smoke run, but measured with the same kernels as the
+    real suite so trajectory trends are comparable. The engines actually
+    measured are recorded in ``raw["engines"]`` and appear verbatim as
+    the ``engine/policy`` throughput keys, so cross-tier BENCH
+    comparisons are unambiguous.
     """
     from time import perf_counter
 
     from repro.core.pdp_policy import PDPPolicy
     from repro.experiments.common import EXPERIMENT_GEOMETRY, TIMING
     from repro.policies.lru import LRUPolicy
-    from repro.sim.single_core import run_llc
+    from repro.sim.single_core import ENGINES, run_llc
     from repro.workloads import make_benchmark_trace
 
+    engines = tuple(engines)
+    unknown = [engine for engine in engines if engine not in ENGINES]
+    if not engines or unknown:
+        raise ValueError(
+            f"engines must be a non-empty subset of {ENGINES}, got {engines}"
+        )
     trace = make_benchmark_trace(
         "403.gcc", length=length, num_sets=EXPERIMENT_GEOMETRY.num_sets
     )
@@ -387,7 +403,7 @@ def run_micro_bench(
     for name, factory in factories.items():
         best: dict[str, float] = {}
         for _ in range(max(1, repeats)):
-            for engine in ("fast", "reference"):
+            for engine in engines:
                 start = perf_counter()
                 run_llc(
                     trace, factory(), EXPERIMENT_GEOMETRY,
@@ -395,18 +411,20 @@ def run_micro_bench(
                 )
                 elapsed = perf_counter() - start
                 best[engine] = min(best.get(engine, float("inf")), elapsed)
-        kernels[name] = {
-            "accesses": len(trace),
-            "fast_seconds": round(best["fast"], 4),
-            "reference_seconds": round(best["reference"], 4),
-            "fast_accesses_per_sec": round(len(trace) / best["fast"]),
-            "reference_accesses_per_sec": round(len(trace) / best["reference"]),
-            "speedup": round(best["reference"] / best["fast"], 2),
-        }
+        cell: dict[str, float | int] = {"accesses": len(trace)}
+        for engine in engines:
+            cell[f"{engine}_seconds"] = round(best[engine], 4)
+            cell[f"{engine}_accesses_per_sec"] = round(len(trace) / best[engine])
+        if "reference" in best and "fast" in best:
+            cell["speedup"] = round(best["reference"] / best["fast"], 2)
+        if "reference" in best and "vector" in best:
+            cell["vector_speedup"] = round(best["reference"] / best["vector"], 2)
+        kernels[name] = cell
     raw = {
         "benchmark": "403.gcc",
         "trace_length": length,
         "repeats": repeats,
+        "engines": list(engines),
         "kernels": kernels,
     }
     return canonical_record("micro", raw)

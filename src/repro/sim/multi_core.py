@@ -107,7 +107,10 @@ def run_shared_llc(
         geometry: shared LLC shape.
         singles: stand-alone LRU IPCs (computed here when omitted).
         engine: "fast" (batched kernel) or "reference" (per-Access loop);
-            both produce identical per-thread statistics.
+            both produce identical per-thread statistics. ``"vector"`` is
+            accepted as an alias for the fast kernel — the columnar
+            kernels do not cover thread-freeze bookkeeping, and shared
+            policies are thread-aware (global state) anyway.
         chunk_size: when set (fast engine), feed the interleaved mix
             through :func:`run_shared_trace` in zero-copy chunks of this
             many accesses, summing the per-thread counters — identical
@@ -146,7 +149,9 @@ def run_shared_llc(
     if recorder is not None:
         recorder.attach(cache, policy, num_threads=num_threads)
 
-    if engine == "fast" and (chunk_size is not None or recorder is not None):
+    if engine in ("fast", "vector") and (
+        chunk_size is not None or recorder is not None
+    ):
         accesses = [0] * num_threads
         hits = [0] * num_threads
         misses = [0] * num_threads
@@ -162,7 +167,7 @@ def run_shared_llc(
                     totals[thread] += count
             feed.account(take, part)
             begin += take
-    elif engine == "fast":
+    elif engine in ("fast", "vector"):
         accesses, hits, misses, bypasses = run_shared_trace(
             cache, mixed, completion
         )

@@ -56,6 +56,7 @@ from time import perf_counter
 
 from repro.core.pdp_policy import PDPPolicy
 from repro.memory.cache import CacheGeometry
+from repro.memory.columnar import merge_shard_parts, run_llc_shard, set_shardable
 from repro.memory.timing import TimingModel
 from repro.obs.manifest import Manifest, TaskFailure, trace_fingerprint
 from repro.obs.manifest import git_sha as _git_sha
@@ -144,10 +145,30 @@ def _run_packed_task(
     engine: str,
     manifest_dir: str | None,
     as_stream: bool = False,
+    shard_spec: tuple[int, int, int] | None = None,
+    window_size: int | None = None,
 ):
-    """Worker entry: one simulation against the shared packed trace."""
+    """Worker entry: one simulation against the shared packed trace.
+
+    With ``shard_spec=(shard, num_shards, total_length)`` the task runs
+    only the sets assigned to that shard (vector engine, no per-cell
+    manifest) and returns a part dict for :func:`merge_shard_parts`
+    instead of a :class:`SingleCoreResult`.
+    """
     _task_telemetry_begin()
     trace = _load_packed_trace(trace_path, as_stream=as_stream)
+    if shard_spec is not None:
+        shard, num_shards, total_length = shard_spec
+        part = run_llc_shard(
+            trace,
+            factory(),
+            geometry,
+            shard,
+            num_shards,
+            total_length,
+            window_size=window_size,
+        )
+        return key, part, _task_telemetry_snapshot()
     result = run_llc(
         trace,
         factory(),
@@ -156,6 +177,7 @@ def _run_packed_task(
         engine=engine,
         manifest_dir=manifest_dir,
         run_label=str(key),
+        window_size=window_size,
     )
     return key, result, _task_telemetry_snapshot()
 
@@ -370,9 +392,11 @@ def run_matrix(
     geometry: CacheGeometry,
     timing: TimingModel | None = None,
     max_workers: int | None = None,
-    engine: str = "fast",
+    engine: str = "vector",
     manifest_dir: str | os.PathLike | None = None,
     on_event: Callable[[ProgressEvent], None] | None = None,
+    set_partitions: int | None = None,
+    window_size: int | None = None,
 ) -> dict:
     """Run a trace x policy-factory matrix, in parallel when possible.
 
@@ -390,33 +414,103 @@ def run_matrix(
         manifest_dir: when set, each cell writes a per-run manifest, all
             progress events land in ``events.jsonl``, and a sweep-level
             manifest (kind ``"matrix"``) records per-task status and any
-            failures.
+            failures. Set-partitioned cells do not write per-cell
+            manifests (a merged cell has no single worker run to
+            describe); the sweep-level manifest still records every
+            shard task.
         on_event: optional callback receiving started/finished/failed
             :class:`ProgressEvent` records (emitted in this process).
+        set_partitions: when > 1 (vector engine, in-memory trace only),
+            split each cell whose policy is
+            :func:`repro.memory.columnar.set_shardable` into that many
+            set-partitioned shard tasks — shard ``k`` simulates only the
+            sets with ``set_index % K == k`` — and merge the per-shard
+            statistics and windowed time-series bit-identically to the
+            unsharded run. Cells whose policy couples sets (e.g. PDP
+            with a dynamic ``pd_engine``) run unsharded. Values are
+            clamped to ``geometry.num_sets``.
+        window_size: when set, record a windowed time-series of this
+            window size for every cell (``result.extra["timeseries"]``),
+            sharded or not.
 
     Returns:
         {key: SingleCoreResult} for every entry in ``factories``.
 
     Raises:
+        ValueError: ``set_partitions`` with a non-vector engine or a
+            :class:`TraceStream` source (shard slicing needs the
+            materialized address column).
         Whatever the first failing simulation task raised (after the
         remaining tasks complete and the sweep manifest is written);
         only infrastructure failures fall back to the serial path.
     """
     workers = resolve_max_workers(max_workers)
     items = list(factories.items())
+    stream_source = isinstance(trace, TraceStream)
+    partitions = 0
+    if set_partitions is not None:
+        if set_partitions < 1:
+            raise ValueError(
+                f"set_partitions must be >= 1, got {set_partitions}"
+            )
+        if set_partitions > 1:
+            if engine != "vector":
+                raise ValueError(
+                    "set_partitions requires engine='vector' "
+                    f"(got engine={engine!r})"
+                )
+            if stream_source:
+                raise ValueError(
+                    "set_partitions requires an in-memory Trace source"
+                )
+            partitions = min(set_partitions, geometry.num_sets)
+    # Shard only the cells whose policy state is provably per-set;
+    # everything else (dynamic-PD samplers, unknown policies) keeps the
+    # exact unsharded path.
+    sharded = {
+        key: partitions
+        for key, factory in items
+        if partitions > 1 and set_shardable(factory())
+    }
+    total_length = 0 if stream_source else len(trace)
+
+    # Task list: plain cells keyed by their factory key; sharded cells
+    # expand to (key, shard) tasks whose parts merge after the grid.
+    task_items: list[tuple] = []
+    for key, factory in items:
+        if key in sharded:
+            for shard in range(partitions):
+                task_items.append(
+                    ((key, shard), (factory, (shard, partitions, total_length)))
+                )
+        else:
+            task_items.append((key, (factory, None)))
+
     manifest_out = Path(manifest_dir) if manifest_dir is not None else None
     manifest_arg = str(manifest_out) if manifest_out is not None else None
     observer = None
     if manifest_out is not None or on_event is not None:
         observer = _GridObserver(
-            total=len(items),
+            total=len(task_items),
             on_event=on_event,
             manifest_dir=manifest_out,
             label="matrix",
             failure_context=lambda key: (str(key), trace.name),
         )
 
-    def run_one(key, factory):
+    def run_one(key, value):
+        factory, shard_spec = value
+        if shard_spec is not None:
+            shard, num_shards, length = shard_spec
+            return run_llc_shard(
+                trace,
+                factory(),
+                geometry,
+                shard,
+                num_shards,
+                length,
+                window_size=window_size,
+            )
         return run_llc(
             trace,
             factory(),
@@ -425,17 +519,17 @@ def run_matrix(
             engine=engine,
             manifest_dir=manifest_arg,
             run_label=str(key),
+            window_size=window_size,
         )
 
-    serial = partial(_run_serial_tasks, run_one, items, observer)
+    serial = partial(_run_serial_tasks, run_one, task_items, observer)
     start = perf_counter()
-    use_pool = workers > 1 and len(items) > 1
+    use_pool = workers > 1 and len(task_items) > 1
     if use_pool:
         try:
             pickle.dumps([factory for _, factory in items])
         except Exception:
             use_pool = False
-    stream_source = isinstance(trace, TraceStream)
     if use_pool:
 
         def write_payloads(payload_dir: Path) -> list[tuple]:
@@ -456,13 +550,15 @@ def run_matrix(
                     engine,
                     manifest_arg,
                     stream_source,
+                    shard_spec,
+                    window_size,
                 )
-                for key, factory in items
+                for key, (factory, shard_spec) in task_items
             ]
 
         results, failures = _run_pooled(
             _run_packed_task,
-            min(workers, len(items)),
+            min(workers, len(task_items)),
             write_payloads,
             serial,
             observer,
@@ -470,23 +566,43 @@ def run_matrix(
     else:
         results, failures = serial()
 
+    # Merge shard parts back into one SingleCoreResult per sharded cell.
+    # A cell with any failed shard is left out of `results` (its failure
+    # re-raises below, and the sweep manifest records each shard task).
+    merge_timing = timing or TimingModel()
+    if sharded and not failures:
+        for key in sharded:
+            parts = [results.pop((key, shard)) for shard in range(partitions)]
+            results[key] = merge_shard_parts(
+                parts,
+                trace.name,
+                total_length,
+                trace.instructions_per_access,
+                merge_timing,
+                window_size=window_size,
+            )
+
     def sweep_manifest(obs: _GridObserver) -> Manifest:
         wall = perf_counter() - start
         # Per-cell manifests carry the exact stream fingerprint; the
         # sweep-level record avoids re-scanning a file-backed stream.
         fingerprint = None if stream_source else trace_fingerprint(trace)
         length = (trace.length or 0) if stream_source else len(trace)
+        config = {
+            "num_sets": geometry.num_sets,
+            "ways": geometry.ways,
+            "line_size": geometry.line_size,
+            "workers": workers,
+        }
+        if sharded:
+            config["set_partitions"] = partitions
+            config["sharded_cells"] = sorted(str(key) for key in sharded)
         return Manifest(
             kind="matrix",
             workload=trace.name,
             policy=f"{len(items)} policies",
             engine=engine,
-            config={
-                "num_sets": geometry.num_sets,
-                "ways": geometry.ways,
-                "line_size": geometry.line_size,
-                "workers": workers,
-            },
+            config=config,
             trace_fingerprint=fingerprint,
             git_sha=_git_sha(),
             wall_time_s=wall,
@@ -658,7 +774,7 @@ def parallel_sweep_static_pd(
     n_c: int = 8,
     timing: TimingModel | None = None,
     max_workers: int | None = None,
-    engine: str = "fast",
+    engine: str = "vector",
     manifest_dir: str | os.PathLike | None = None,
     on_event: Callable[[ProgressEvent], None] | None = None,
 ) -> dict[int, SingleCoreResult]:
@@ -684,7 +800,7 @@ def parallel_compare_policies(
     geometry: CacheGeometry,
     timing: TimingModel | None = None,
     max_workers: int | None = None,
-    engine: str = "fast",
+    engine: str = "vector",
     manifest_dir: str | os.PathLike | None = None,
     on_event: Callable[[ProgressEvent], None] | None = None,
 ) -> dict[str, SingleCoreResult]:

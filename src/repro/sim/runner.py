@@ -20,7 +20,7 @@ def sweep_static_pd(
     n_c: int = 8,
     timing: TimingModel | None = None,
     max_workers: int | None = 1,
-    engine: str = "fast",
+    engine: str = "vector",
     manifest_dir: str | os.PathLike | None = None,
     on_event: Callable | None = None,
 ) -> dict[int, SingleCoreResult]:
@@ -88,7 +88,7 @@ def compare_policies(
     geometry: CacheGeometry,
     timing: TimingModel | None = None,
     max_workers: int | None = 1,
-    engine: str = "fast",
+    engine: str = "vector",
     manifest_dir: str | os.PathLike | None = None,
     on_event: Callable | None = None,
 ) -> dict[str, SingleCoreResult]:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from time import perf_counter
 
 from repro.memory.cache import CacheGeometry, SetAssociativeCache
+from repro.memory.columnar import run_trace_vector
 from repro.memory.fastpath import run_hierarchy_trace, run_trace
 from repro.memory.hierarchy import CacheHierarchy
 from repro.memory.stats import OccupancyTracker
@@ -32,10 +33,12 @@ from repro.obs.timeseries import WindowedRecorder, _WindowFeed, active_recorder
 from repro.traces.stream import TraceStream, as_stream
 from repro.traces.trace import Trace
 
-#: Engine modes accepted by the drivers: "fast" (batched kernel, the
-#: default) and "reference" (the original per-Access loop, kept for
-#: equivalence testing — see tests/test_fastpath.py).
-ENGINES = ("fast", "reference")
+#: Engine modes accepted by the drivers: "vector" (columnar set-batched
+#: kernels with per-policy fallback to the fast path — the ``run_llc``
+#: default), "fast" (batched kernel) and "reference" (the original
+#: per-Access loop, kept for equivalence testing — see
+#: tests/test_fastpath.py and tests/test_conformance.py).
+ENGINES = ("vector", "fast", "reference")
 
 
 def _check_engine(engine: str) -> None:
@@ -172,7 +175,7 @@ def run_llc(
     timing: TimingModel | None = None,
     track_occupancy: bool = False,
     occupancy_threshold: int = 16,
-    engine: str = "fast",
+    engine: str = "vector",
     manifest_dir: str | os.PathLike | None = None,
     run_label: str | None = None,
     run_meta: dict | None = None,
@@ -190,8 +193,10 @@ def run_llc(
         geometry: LLC shape.
         timing: IPC model; defaults to :class:`TimingModel` defaults.
         track_occupancy: attach an occupancy tracker (Fig. 5a data).
-        engine: "fast" (batched kernel) or "reference" (per-Access loop);
-            both produce identical results.
+        engine: "vector" (columnar set-batched kernels, falling back to
+            the fast path per policy — the default), "fast" (batched
+            kernel) or "reference" (per-Access loop); all three produce
+            identical results.
         manifest_dir: when set, write a provenance manifest for this run
             into the directory (see :mod:`repro.obs.manifest`). Never
             read from the environment here — nested helper runs must not
@@ -227,13 +232,14 @@ def run_llc(
     feed = _WindowFeed(recorder)
     fingerprinter = FingerprintAccumulator() if manifest_dir is not None else None
     total_accesses = 0
+    kernel = run_trace_vector if engine == "vector" else run_trace
     for chunk in stream.chunks():
         for sub, take in feed.slices(chunk):
-            if engine == "fast":
-                run_trace(cache, sub)
-            else:
+            if engine == "reference":
                 for access in sub:
                     cache.access(access)
+            else:
+                kernel(cache, sub)
             feed.account(take)
         total_accesses += len(chunk)
         if fingerprinter is not None:
@@ -313,6 +319,9 @@ def run_hierarchy(
     twist: the recorder observes the **LLC**, so window boundaries count
     trace (L1) positions while the counters are LLC-stat deltas — windows
     where the upper levels absorb everything are legitimately all-zero.
+    ``engine="vector"`` is accepted as an alias for the fast hierarchy
+    kernel (hierarchy traffic is filtered through L1/L2, so the columnar
+    LLC kernels do not apply).
     """
     from repro.sim.config import MachineConfig
 
@@ -335,7 +344,7 @@ def run_hierarchy(
     total_accesses = 0
     for chunk in stream.chunks():
         for sub, take in feed.slices(chunk):
-            if engine == "fast":
+            if engine in ("fast", "vector"):
                 run_hierarchy_trace(hierarchy, sub)
             else:
                 hierarchy.run(iter(sub))

@@ -1,12 +1,19 @@
-"""Cross-engine conformance: reference vs fast vs chunked streaming.
+"""Cross-engine conformance: reference vs fast vs vector vs chunked.
 
 A seeded randomized sweep over (policy x geometry x workload generator)
-asserting that the three ways to drive a simulation — the reference
-per-``Access`` loop, the batched fast-path kernel, and the fast-path
-kernel fed through a chunked :class:`TraceStream` — produce identical
-statistics (hits, misses, evictions, bypasses, instructions). The
-shared-LLC variant additionally pins the thread-freeze rule across the
-one-shot and chunked fast paths.
+asserting that every way to drive a simulation — the reference
+per-``Access`` loop, each engine under test (``fast`` and the columnar
+``vector`` tier by default), and each engine fed through a chunked
+:class:`TraceStream` — produces identical statistics (hits, misses,
+evictions, bypasses, instructions). The shared-LLC variant additionally
+pins the thread-freeze rule across the one-shot and chunked paths.
+
+The engines compared against reference come from the
+``REPRO_CONFORMANCE_ENGINES`` environment variable (comma-separated,
+default ``"fast,vector"``) so CI can run each engine as its own matrix
+column. Policies the columnar module does not vectorize fall back to the
+fast path inside the vector engine — the vector column therefore sweeps
+*every* registered policy, proving the fallback seam too.
 
 Every run also carries a :class:`repro.obs.timeseries.WindowedRecorder`:
 the per-window payloads must be bit-identical across all three paths
@@ -21,6 +28,7 @@ machinery.
 
 from __future__ import annotations
 
+import os
 import random
 import zlib
 
@@ -48,6 +56,16 @@ MULTITHREAD = {"pd-partition", "pipp", "ta-drrip", "ucp"}
 
 #: Fields of SingleCoreResult that must agree bit-for-bit across engines.
 RESULT_FIELDS = ("accesses", "hits", "misses", "bypasses", "evictions", "instructions")
+
+#: Engines compared against the reference loop (CI matrix columns set
+#: $REPRO_CONFORMANCE_ENGINES to isolate one engine per job).
+CONFORMANCE_ENGINES = tuple(
+    engine.strip()
+    for engine in os.environ.get(
+        "REPRO_CONFORMANCE_ENGINES", "fast,vector"
+    ).split(",")
+    if engine.strip()
+)
 
 
 def _fresh_policy(name: str, trace: Trace):
@@ -105,40 +123,43 @@ def _random_geometry(rng: random.Random) -> CacheGeometry:
 
 def _assert_conformant(policy_name: str, trace: Trace, geometry: CacheGeometry,
                        chunk_size: int) -> None:
-    """Reference, fast, and fast+chunked runs must agree exactly —
-    including every per-window payload of an attached recorder."""
+    """Reference and every engine under test (one-shot and chunked) must
+    agree exactly — including every per-window payload of an attached
+    recorder."""
     window_size = max(64, len(trace) // 5)
+    labels = ["reference"]
+    for engine in CONFORMANCE_ENGINES:
+        labels += [engine, f"{engine}-chunked"]
     recorders = {
-        label: WindowedRecorder(window_size=window_size)
-        for label in ("reference", "fast", "chunked")
+        label: WindowedRecorder(window_size=window_size) for label in labels
     }
     reference = run_llc(
         trace, _fresh_policy(policy_name, trace), geometry, engine="reference",
         timeseries=recorders["reference"],
     )
-    fast = run_llc(
-        trace, _fresh_policy(policy_name, trace), geometry, engine="fast",
-        timeseries=recorders["fast"],
-    )
-    chunked = run_llc(
-        TraceStream.from_trace(trace, chunk_size=chunk_size),
-        _fresh_policy(policy_name, trace),
-        geometry,
-        engine="fast",
-        timeseries=recorders["chunked"],
-    )
+    results = {}
+    for engine in CONFORMANCE_ENGINES:
+        results[engine] = run_llc(
+            trace, _fresh_policy(policy_name, trace), geometry, engine=engine,
+            timeseries=recorders[engine],
+        )
+        results[f"{engine}-chunked"] = run_llc(
+            TraceStream.from_trace(trace, chunk_size=chunk_size),
+            _fresh_policy(policy_name, trace),
+            geometry,
+            engine=engine,
+            timeseries=recorders[f"{engine}-chunked"],
+        )
     for field in RESULT_FIELDS:
         ref_value = getattr(reference, field)
-        assert getattr(fast, field) == ref_value, (
-            f"{policy_name}: fast.{field} diverges from reference on "
-            f"{trace.name} ({len(trace)} accesses)"
-        )
-        assert getattr(chunked, field) == ref_value, (
-            f"{policy_name}: chunked(chunk_size={chunk_size}).{field} "
-            f"diverges from reference on {trace.name} ({len(trace)} accesses)"
-        )
+        for label, result in results.items():
+            assert getattr(result, field) == ref_value, (
+                f"{policy_name}: {label}.{field} diverges from reference on "
+                f"{trace.name} ({len(trace)} accesses, "
+                f"chunk_size={chunk_size})"
+            )
     ref_windows = recorders["reference"].to_dict()
-    for label in ("fast", "chunked"):
+    for label in labels[1:]:
         assert recorders[label].to_dict() == ref_windows, (
             f"{policy_name}: {label} windowed stats diverge from reference "
             f"(window_size={window_size}, chunk_size={chunk_size})"
@@ -189,13 +210,17 @@ def _shared_policy(name: str, traces: list[Trace]):
 
 def _assert_shared_conformant(policy_name: str, traces: list[Trace],
                               geometry: CacheGeometry, chunk_size: int) -> None:
-    """Per-thread frozen statistics must agree across all three paths —
-    including per-window shares from an attached recorder."""
+    """Per-thread frozen statistics must agree across every path —
+    including per-window shares from an attached recorder. The vector
+    engine is an alias for the fast kernel on shared runs; the column
+    still proves the alias wiring end to end."""
     total = sum(len(t) for t in traces)
     window_size = max(64, total // 5)
+    labels = ["reference"]
+    for engine in CONFORMANCE_ENGINES:
+        labels += [engine, f"{engine}-chunked"]
     recorders = {
-        label: WindowedRecorder(window_size=window_size)
-        for label in ("reference", "fast", "chunked")
+        label: WindowedRecorder(window_size=window_size) for label in labels
     }
     singles = [1.0] * len(traces)  # skip baselines: not under test
     runs = {
@@ -204,19 +229,20 @@ def _assert_shared_conformant(policy_name: str, traces: list[Trace],
             singles=singles, engine="reference",
             timeseries=recorders["reference"],
         ),
-        "fast": run_shared_llc(
-            traces, _shared_policy(policy_name, traces), geometry,
-            singles=singles, engine="fast",
-            timeseries=recorders["fast"],
-        ),
-        "chunked": run_shared_llc(
-            traces, _shared_policy(policy_name, traces), geometry,
-            singles=singles, engine="fast", chunk_size=chunk_size,
-            timeseries=recorders["chunked"],
-        ),
     }
+    for engine in CONFORMANCE_ENGINES:
+        runs[engine] = run_shared_llc(
+            traces, _shared_policy(policy_name, traces), geometry,
+            singles=singles, engine=engine,
+            timeseries=recorders[engine],
+        )
+        runs[f"{engine}-chunked"] = run_shared_llc(
+            traces, _shared_policy(policy_name, traces), geometry,
+            singles=singles, engine=engine, chunk_size=chunk_size,
+            timeseries=recorders[f"{engine}-chunked"],
+        )
     reference = runs["reference"]
-    for label in ("fast", "chunked"):
+    for label in labels[1:]:
         result = runs[label]
         for thread, (got, want) in enumerate(zip(result.threads, reference.threads)):
             for field in ("accesses", "hits", "misses", "bypasses", "instructions"):
@@ -225,7 +251,7 @@ def _assert_shared_conformant(policy_name: str, traces: list[Trace],
                     f"from reference (chunk_size={chunk_size})"
                 )
     ref_windows = recorders["reference"].to_dict()
-    for label in ("fast", "chunked"):
+    for label in labels[1:]:
         assert recorders[label].to_dict() == ref_windows, (
             f"{policy_name}: {label} shared windowed stats diverge from "
             f"reference (window_size={window_size}, chunk_size={chunk_size})"

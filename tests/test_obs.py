@@ -270,13 +270,16 @@ class TestTelemetry:
         TELEMETRY.enable()
         TELEMETRY.reset()
         try:
-            run_llc(_trace(), LRUPolicy(), GEOMETRY)
+            run_llc(_trace(), LRUPolicy(), GEOMETRY, engine="fast")
+            run_llc(_trace(), LRUPolicy(), GEOMETRY)  # default: vector
             snapshot = TELEMETRY.snapshot()
         finally:
             TELEMETRY.disable()
             TELEMETRY.reset()
         assert snapshot["counters"]["fastpath.accesses"] == 2000
         assert snapshot["timers"]["fastpath.run_trace"]["calls"] == 1
+        assert snapshot["counters"]["columnar.accesses"] == 2000
+        assert snapshot["timers"]["columnar.run_trace"]["calls"] == 1
 
     def test_manifest_embeds_telemetry_snapshot(self, tmp_path):
         from repro.obs.telemetry import TELEMETRY
@@ -289,7 +292,7 @@ class TestTelemetry:
             TELEMETRY.disable()
             TELEMETRY.reset()
         manifest = load_manifests(tmp_path)[0]
-        assert manifest.telemetry["counters"]["fastpath.accesses"] == 2000
+        assert manifest.telemetry["counters"]["columnar.accesses"] == 2000
 
 
 class TestProgress:
