@@ -40,6 +40,7 @@ from repro.obs import (
     ProgressReporter,
     Telemetry,
     load_manifests,
+    scan_manifests,
     summarize_manifests,
 )
 from repro.memory import (
@@ -124,5 +125,6 @@ __all__ = [
     "run_hierarchy",
     "run_llc",
     "run_shared_llc",
+    "scan_manifests",
     "summarize_manifests",
 ]

@@ -16,6 +16,11 @@ Commands:
   schema-versioned BENCH record (see :mod:`repro.obs.bench`).
 - ``trace convert`` / ``trace info`` — stream-convert and inspect
   external trace files (native ``.trz``, ChampSim-style binary, CSV).
+- ``serve`` — run the always-on resumable sweep daemon on a service
+  root directory (unix socket + job store + per-namespace manifests).
+- ``submit`` / ``jobs`` / ``watch`` — client trio for the daemon:
+  submit a sweep spec, list jobs, stream a job's progress events. See
+  ``docs/SERVICE.md``.
 
 ``run`` and ``sweep`` accept ``--trace-file`` to simulate an external
 trace (streamed in chunks, so file size is unbounded by RAM) instead of
@@ -312,13 +317,13 @@ def _cmd_overhead(args) -> int:
 
 
 def _cmd_obs(args) -> int:
-    from repro.obs.manifest import load_manifests, summarize_manifests
+    from repro.obs.manifest import scan_manifests, summarize_manifests
 
-    manifests = load_manifests(args.directory)
-    if not manifests:
+    report = scan_manifests(args.directory)
+    if not report.manifests and not report.skipped:
         print(f"no manifests found in {args.directory}", file=sys.stderr)
         return 1
-    print(summarize_manifests(manifests))
+    print(summarize_manifests(report.manifests, skipped=report.skipped))
     return 0
 
 
@@ -364,6 +369,161 @@ def _cmd_obs_bench(args) -> int:
         append_trajectory(record, args.trajectory)
         print(f"[appended to {args.trajectory}]", file=sys.stderr)
     return 0
+
+
+def _service_root(args) -> str:
+    """The sweep service root: --root, else $REPRO_SERVICE_ROOT."""
+    import os
+
+    root = args.root if args.root is not None else os.environ.get("REPRO_SERVICE_ROOT")
+    if not root:
+        raise SystemExit("--root (or $REPRO_SERVICE_ROOT) is required")
+    return root
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.protocol import service_socket
+    from repro.service.server import serve
+
+    root = _service_root(args)
+    print(f"[repro serve] root={root} socket={service_socket(root)}", file=sys.stderr)
+    serve(root)
+    return 0
+
+
+def _spec_from_args(args):
+    """Build a SweepSpec from ``repro submit`` options (or --spec-file)."""
+    import json
+
+    from repro.service.jobs import SweepSpec
+
+    if args.spec_file is not None:
+        with open(args.spec_file, encoding="utf-8") as fh:
+            return SweepSpec.from_dict(json.load(fh))
+    policies = []
+    for entry in args.policy or []:
+        if "=" in entry:
+            key, _, rest = entry.partition("=")
+            name, _, kwargs_json = rest.partition(":")
+            policies.append(
+                {
+                    "key": key,
+                    "name": name,
+                    "kwargs": json.loads(kwargs_json) if kwargs_json else {},
+                }
+            )
+        else:
+            policies.append(entry)
+    mixes = {}
+    for entry in args.mix or []:
+        key, _, names = entry.partition("=")
+        mixes[key] = [name for name in names.split(",") if name]
+    return SweepSpec(
+        kind="mix_matrix" if mixes else "matrix",
+        namespace=args.namespace,
+        benchmark=args.benchmark,
+        trace_file=args.trace_file,
+        trace_format=args.trace_format,
+        length=args.length,
+        seed=args.seed,
+        policies=policies,
+        mixes=mixes,
+        num_sets=args.num_sets,
+        ways=args.ways,
+        line_size=args.line_size,
+        engine=args.engine,
+        workers=args.workers,
+        window_size=args.window_size,
+        match_git_sha=args.match_git_sha,
+        force=args.force,
+    )
+
+
+def _print_watch_stream(client, job_id: str, replay: bool) -> int:
+    """Stream one job's events to stderr; returns a CLI exit code."""
+    final = None
+    for response in client.watch(job_id, replay=replay):
+        if "done" in response:
+            final = response["done"]
+            break
+        event = response.get("event", {})
+        kind = event.get("kind")
+        if kind == "job-state":
+            suffix = f" ({event['error']})" if event.get("error") else ""
+            print(f"[{job_id}] state={event.get('state')}{suffix}", file=sys.stderr)
+        else:
+            suffix = f" ({event['error']})" if event.get("error") else ""
+            print(
+                f"[{job_id}] {event.get('done')}/{event.get('total')} "
+                f"{kind} {event.get('key')}{suffix}",
+                file=sys.stderr,
+            )
+    if final is None:
+        return 1
+    print(
+        f"{final['job_id']} {final['state']}: total {final['total_cells']} "
+        f"skipped {final['skipped_cells']} ran {final['ran_cells']} "
+        f"failed {final['failed_cells']}"
+    )
+    return 0 if final["state"] == "done" else 1
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.jobs import SpecError
+    from repro.service.protocol import ProtocolError, ServiceClient, service_socket
+
+    try:
+        spec = _spec_from_args(args)
+        spec.validate()
+    except SpecError as exc:
+        print(f"invalid spec: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(service_socket(_service_root(args))) as client:
+            job = client.submit(spec.to_dict())
+            print(job["job_id"])
+            if args.watch:
+                return _print_watch_stream(client, job["job_id"], replay=True)
+    except (ProtocolError, OSError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service.protocol import ProtocolError, ServiceClient, service_socket
+
+    try:
+        with ServiceClient(service_socket(_service_root(args))) as client:
+            jobs = client.jobs()
+    except (ProtocolError, OSError) as exc:
+        print(f"jobs failed: {exc}", file=sys.stderr)
+        return 1
+    if not jobs:
+        print("no jobs", file=sys.stderr)
+        return 0
+    print(f"{'JOB':32s} {'STATE':9s} {'NS':10s} {'KIND':10s} "
+          f"{'CELLS':>5s} {'SKIP':>5s} {'RAN':>5s} SUBMITTED")
+    for job in jobs:
+        spec = job.get("spec", {})
+        print(
+            f"{job['job_id']:32s} {job['state']:9s} "
+            f"{spec.get('namespace', '?'):10s} {spec.get('kind', '?'):10s} "
+            f"{job['total_cells']:5d} {job['skipped_cells']:5d} "
+            f"{job['ran_cells']:5d} {job['submitted_at']}"
+        )
+    return 0
+
+
+def _cmd_watch(args) -> int:
+    from repro.service.protocol import ProtocolError, ServiceClient, service_socket
+
+    try:
+        with ServiceClient(service_socket(_service_root(args))) as client:
+            return _print_watch_stream(client, args.job_id, replay=not args.no_replay)
+    except (ProtocolError, OSError) as exc:
+        print(f"watch failed: {exc}", file=sys.stderr)
+        return 1
 
 
 def _cmd_trace_convert(args) -> int:
@@ -615,6 +775,91 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit machine-readable JSON"
     )
     info.set_defaults(func=_cmd_trace_info)
+
+    def _add_root(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--root",
+            default=None,
+            help="service root directory (default: $REPRO_SERVICE_ROOT)",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on resumable sweep daemon"
+    )
+    _add_root(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a sweep to the daemon")
+    _add_root(submit)
+    submit.add_argument(
+        "--spec-file",
+        default=None,
+        help="read the full SweepSpec from this JSON file (overrides the "
+        "inline options below)",
+    )
+    submit.add_argument("--namespace", default="default",
+                        help="manifest namespace (the multi-tenant unit)")
+    submit.add_argument("--benchmark", default=None)
+    submit.add_argument("--trace-file", default=None)
+    submit.add_argument("--trace-format", default=None)
+    submit.add_argument("--length", type=int, default=40_000)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument(
+        "--policy",
+        action="append",
+        help="policy to sweep; repeatable. Either a registered name "
+        "('lru') or key=name[:kwargs-json] ('pdp8=pdp:{\"recompute_"
+        "interval\": 8192}')",
+    )
+    submit.add_argument(
+        "--mix",
+        action="append",
+        help="mix_matrix mix as key=bench1,bench2,...; repeatable "
+        "(any --mix switches the job kind to mix_matrix)",
+    )
+    submit.add_argument("--num-sets", type=int, default=64)
+    submit.add_argument("--ways", type=int, default=16)
+    submit.add_argument("--line-size", type=int, default=64)
+    submit.add_argument(
+        "--engine", choices=("vector", "fast", "reference"), default="vector"
+    )
+    submit.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes per sweep (1 = serial, 0 = auto)",
+    )
+    submit.add_argument("--window-size", type=int, default=None)
+    submit.add_argument(
+        "--match-git-sha",
+        action="store_true",
+        help="only resume from manifests written at the current git SHA",
+    )
+    submit.add_argument(
+        "--force",
+        action="store_true",
+        help="resume even over a namespace containing corrupt manifests",
+    )
+    submit.add_argument(
+        "--watch",
+        action="store_true",
+        help="stay attached and stream the job's progress events",
+    )
+    submit.set_defaults(func=_cmd_submit)
+
+    jobs = sub.add_parser("jobs", help="list the daemon's jobs")
+    _add_root(jobs)
+    jobs.set_defaults(func=_cmd_jobs)
+
+    watch = sub.add_parser("watch", help="stream one job's progress events")
+    _add_root(watch)
+    watch.add_argument("job_id")
+    watch.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the event history, follow live events only",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

@@ -46,11 +46,15 @@ from repro.obs.manifest import (
     ENV_MANIFEST_DIR,
     MANIFEST_SCHEMA_VERSION,
     Manifest,
+    ManifestLoadReport,
+    SkippedManifest,
     TaskFailure,
+    fingerprint_source,
     git_sha,
     load_manifests,
     new_run_id,
     resolve_manifest_dir,
+    scan_manifests,
     summarize_exception,
     summarize_manifests,
     trace_fingerprint,
@@ -83,6 +87,8 @@ __all__ = [
     "EVENTS_FILENAME",
     "MANIFEST_SCHEMA_VERSION",
     "Manifest",
+    "ManifestLoadReport",
+    "SkippedManifest",
     "TIMESERIES_SCHEMA_VERSION",
     "Window",
     "WindowedRecorder",
@@ -96,9 +102,11 @@ __all__ = [
     "canonical_record",
     "compare_records",
     "console_reporter",
+    "fingerprint_source",
     "get_telemetry",
     "git_sha",
     "load_manifests",
+    "scan_manifests",
     "migrate_record",
     "new_run_id",
     "print_event",

@@ -30,6 +30,7 @@ import subprocess
 import tempfile
 import traceback
 import uuid
+import warnings
 from dataclasses import asdict, dataclass, field
 from datetime import datetime, timezone
 from functools import lru_cache
@@ -122,6 +123,28 @@ def trace_fingerprint(trace) -> str:
     accumulator = FingerprintAccumulator()
     accumulator.update(trace)
     return accumulator.digest(trace.name, trace.instructions_per_access)
+
+
+def fingerprint_source(trace_or_stream) -> str:
+    """Fingerprint an in-memory trace *or* a chunked stream.
+
+    An in-memory :class:`repro.traces.trace.Trace` hashes in one shot
+    (:func:`trace_fingerprint`); anything exposing ``chunks()`` (a
+    :class:`repro.traces.stream.TraceStream`) is re-scanned chunk by
+    chunk in O(chunk) memory. Both paths produce the identical
+    chunk-size-invariant digest, which is what lets a resume scheduler
+    match a stream-sourced sweep against per-cell manifests written from
+    the same content.
+    """
+    chunks = getattr(trace_or_stream, "chunks", None)
+    if chunks is None:
+        return trace_fingerprint(trace_or_stream)
+    accumulator = FingerprintAccumulator()
+    for chunk in chunks():
+        accumulator.update(chunk)
+    return accumulator.digest(
+        trace_or_stream.name, trace_or_stream.instructions_per_access
+    )
 
 
 def resolve_manifest_dir(directory: str | os.PathLike | None = None) -> Path | None:
@@ -266,18 +289,71 @@ class Manifest:
             return cls.from_dict(json.load(fh))
 
 
-def load_manifests(directory: str | os.PathLike) -> list[Manifest]:
-    """Load every ``*.json`` manifest under ``directory``, sorted by
-    (created_at, run_id); unparseable files are skipped."""
+@dataclass
+class SkippedManifest:
+    """One manifest file that failed to parse during a directory scan."""
+
+    path: str
+    error: str
+
+
+@dataclass
+class ManifestLoadReport:
+    """Outcome of scanning a manifest directory.
+
+    ``manifests`` holds every successfully parsed document (sorted by
+    ``(created_at, run_id)``); ``skipped`` records each file that failed
+    to parse, with the error. A non-empty ``skipped`` list means the
+    directory cannot be trusted as a resume substrate — a corrupt cell
+    manifest would make a resume scheduler re-run (or mis-skip) work —
+    so consumers that resume from manifests must refuse unless forced.
+    """
+
+    manifests: list[Manifest] = field(default_factory=list)
+    skipped: list[SkippedManifest] = field(default_factory=list)
+
+
+def scan_manifests(directory: str | os.PathLike) -> ManifestLoadReport:
+    """Scan ``directory`` for ``*.json`` manifests, reporting failures.
+
+    Unlike the historical :func:`load_manifests` behaviour, files that
+    fail to parse are *returned* (path + error) instead of silently
+    dropped, so callers can surface them — ``repro obs summarize``
+    prints them, and the sweep-service scheduler refuses to resume over
+    them without ``--force``. A missing directory scans as empty.
+    """
     root = Path(directory)
-    manifests = []
+    report = ManifestLoadReport()
+    if not root.is_dir():
+        return report
     for path in sorted(root.glob("*.json")):
         try:
-            manifests.append(Manifest.load(path))
-        except (OSError, ValueError, KeyError, TypeError):
-            continue
-    manifests.sort(key=lambda m: (m.created_at, m.run_id))
-    return manifests
+            report.manifests.append(Manifest.load(path))
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            report.skipped.append(
+                SkippedManifest(path=str(path), error=f"{type(exc).__name__}: {exc}")
+            )
+    report.manifests.sort(key=lambda m: (m.created_at, m.run_id))
+    return report
+
+
+def load_manifests(directory: str | os.PathLike) -> list[Manifest]:
+    """Load every ``*.json`` manifest under ``directory``, sorted by
+    (created_at, run_id).
+
+    Unparseable files are excluded from the result but no longer pass
+    silently: each one raises a :class:`RuntimeWarning` naming the file,
+    and callers that need the full account (e.g. resume logic) should
+    use :func:`scan_manifests` instead.
+    """
+    report = scan_manifests(directory)
+    for skipped in report.skipped:
+        warnings.warn(
+            f"skipping unparseable manifest {skipped.path}: {skipped.error}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return report.manifests
 
 
 def _format_metric(value) -> str:
@@ -303,7 +379,10 @@ def _table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
     return "\n".join(lines)
 
 
-def summarize_manifests(manifests: list[Manifest]) -> str:
+def summarize_manifests(
+    manifests: list[Manifest],
+    skipped: list[SkippedManifest] | None = None,
+) -> str:
     """Render a directory of manifests as an aligned comparison table.
 
     Single-run manifests become one row each (workload x policy cell),
@@ -312,7 +391,9 @@ def summarize_manifests(manifests: list[Manifest]) -> str:
     section listing task counts and any recorded failures. Manifests
     written by older schema versions degrade gracefully: missing
     columns render blank and a trailing note records the version skew
-    instead of crashing.
+    instead of crashing. ``skipped`` (from :func:`scan_manifests`)
+    appends a warning section naming every unparseable manifest file, so
+    corrupt provenance is visible rather than silently absent.
     """
     rows = []
     sweeps = []
@@ -384,6 +465,13 @@ def summarize_manifests(manifests: list[Manifest]) -> str:
             f"version (current v{MANIFEST_SCHEMA_VERSION}); columns their "
             "schema lacks render blank"
         )
+    if skipped:
+        lines = [
+            f"WARNING: {len(skipped)} manifest file(s) could not be parsed "
+            "and are missing from the tables above:"
+        ]
+        lines.extend(f"  {s.path}: {s.error}" for s in skipped)
+        sections.append("\n".join(lines))
     if not sections:
         return "no manifests found"
     return "\n\n".join(sections)
@@ -394,11 +482,15 @@ __all__ = [
     "FingerprintAccumulator",
     "MANIFEST_SCHEMA_VERSION",
     "Manifest",
+    "ManifestLoadReport",
+    "SkippedManifest",
     "TaskFailure",
+    "fingerprint_source",
     "git_sha",
     "load_manifests",
     "new_run_id",
     "resolve_manifest_dir",
+    "scan_manifests",
     "summarize_exception",
     "summarize_manifests",
     "trace_fingerprint",

@@ -31,9 +31,14 @@ class ProgressEvent:
 
     ``done``/``total`` count *completed* tasks (finished + failed) at
     emission time; ``eta_s`` is None until at least one task completed.
+    Two non-lifecycle kinds share the record shape: ``"warning"``
+    carries a grid-level degradation notice (e.g. a parallel sweep
+    falling back to serial execution) in ``error`` without touching the
+    counters, and ``"skipped"`` marks a cell the resume scheduler
+    satisfied from an existing manifest instead of re-running.
     """
 
-    kind: str  # "started" | "finished" | "failed"
+    kind: str  # "started" | "finished" | "failed" | "skipped" | "warning"
     key: str
     done: int
     total: int
@@ -113,6 +118,15 @@ class ProgressReporter:
             else str(error)
         )
         return self._emit("failed", key, error=message)
+
+    def warning(self, key, message: str) -> ProgressEvent:
+        """Emit a grid-level ``warning`` event (counters untouched).
+
+        Used for degradations the caller should see but that fail no
+        task — e.g. a parallel runner silently dropping to one worker
+        because the policy factories cannot cross a process boundary.
+        """
+        return self._emit("warning", key, error=message)
 
 
 def print_event(event: ProgressEvent, stream=None, label: str = "sweep") -> None:

@@ -1,0 +1,350 @@
+"""Job specs, job records, and the on-disk job store of the sweep service.
+
+A :class:`SweepSpec` is the declarative description of one sweep — what
+to simulate (a generated benchmark or an on-disk trace file for
+``matrix`` jobs, a dict of benchmark mixes for ``mix_matrix`` jobs),
+under which policies (registered policy names plus keyword arguments —
+resolvable to picklable factories via :func:`policy_factories`), on what
+geometry/engine, and into which manifest *namespace*. Namespaces are the
+multi-tenant unit: each one is a separate manifest directory under the
+service root, and resume matching only ever looks inside the submitting
+job's namespace.
+
+A :class:`JobRecord` tracks one submitted spec through its lifecycle
+(``queued → running → done|failed``, plus ``cancelled``), and the
+:class:`JobStore` persists records as atomic JSON files under
+``<root>/jobs/`` — the same temp-file + ``os.replace`` discipline as run
+manifests — so a killed daemon recovers its queue on restart: ``running``
+jobs are re-queued (their completed cells are skipped by the resume
+scheduler) and ``queued`` jobs simply run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from functools import partial
+from pathlib import Path
+from typing import Callable
+
+from repro.obs.manifest import new_run_id, utc_now_iso
+
+#: Sweep kinds the service can schedule.
+VALID_KINDS = ("matrix", "mix_matrix")
+
+#: Lifecycle states of a job record.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: Job states that will never change again.
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class SpecError(ValueError):
+    """An invalid or unsatisfiable sweep spec."""
+
+
+@dataclass
+class SweepSpec:
+    """Declarative description of one sweep job.
+
+    ``policies`` entries are either a registered policy name (``"lru"``)
+    or a dict ``{"key": ..., "name": ..., "kwargs": {...}}`` — ``key``
+    defaults to ``name`` and becomes the cell key / manifest label, so
+    two parameterizations of the same policy need distinct keys.
+    ``workers=0`` means auto (``$REPRO_MAX_WORKERS``, else CPU count).
+    ``match_git_sha=True`` additionally requires a manifest's recorded
+    git SHA to equal the current one before its cell is skipped on
+    resume; ``force=True`` lets the job resume over a namespace
+    containing corrupt manifests (which are otherwise refused — see
+    :class:`repro.service.scheduler.CorruptManifestError`).
+    """
+
+    kind: str = "matrix"
+    namespace: str = "default"
+    benchmark: str | None = None
+    trace_file: str | None = None
+    trace_format: str | None = None
+    length: int = 40_000
+    seed: int | None = None
+    policies: list = field(default_factory=list)
+    mixes: dict = field(default_factory=dict)
+    num_sets: int = 64
+    ways: int = 16
+    line_size: int = 64
+    engine: str = "vector"
+    workers: int = 1
+    window_size: int | None = None
+    match_git_sha: bool = False
+    force: bool = False
+
+    def validate(self) -> None:
+        """Reject malformed specs with a actionable :class:`SpecError`."""
+        if self.kind not in VALID_KINDS:
+            raise SpecError(f"kind must be one of {VALID_KINDS}, got {self.kind!r}")
+        if not self.namespace or "/" in self.namespace or self.namespace in (".", ".."):
+            raise SpecError(
+                f"namespace must be a plain directory name, got {self.namespace!r}"
+            )
+        if self.kind == "matrix":
+            if (self.benchmark is None) == (self.trace_file is None):
+                raise SpecError(
+                    "matrix jobs need exactly one of benchmark/trace_file"
+                )
+            if not self.policies:
+                raise SpecError("matrix jobs need at least one policy")
+        else:
+            if not self.mixes:
+                raise SpecError("mix_matrix jobs need a non-empty mixes dict")
+            if not self.policies:
+                raise SpecError("mix_matrix jobs need at least one policy")
+        keys = [key for key, _, _ in self.policy_items()]
+        if len(set(keys)) != len(keys):
+            raise SpecError(f"duplicate policy keys in spec: {keys}")
+        if self.workers < 0:
+            raise SpecError(f"workers must be >= 0, got {self.workers}")
+        if self.window_size is not None and self.window_size <= 0:
+            raise SpecError(f"window_size must be positive, got {self.window_size}")
+
+    def policy_items(self) -> list[tuple[str, str, dict]]:
+        """Normalize ``policies`` into ``(key, name, kwargs)`` triples."""
+        items = []
+        for entry in self.policies:
+            if isinstance(entry, str):
+                items.append((entry, entry, {}))
+            elif isinstance(entry, dict) and "name" in entry:
+                items.append(
+                    (
+                        str(entry.get("key", entry["name"])),
+                        str(entry["name"]),
+                        dict(entry.get("kwargs", {})),
+                    )
+                )
+            else:
+                raise SpecError(
+                    f"policy entries must be a name or a {{name, key, kwargs}} "
+                    f"dict, got {entry!r}"
+                )
+        return items
+
+    def to_dict(self) -> dict:
+        """The JSON-ready form (round-trips via :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output (tolerates extras)."""
+        known = set(cls.__dataclass_fields__)
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def policy_factories(spec: SweepSpec) -> dict[str, Callable]:
+    """Build the ``{cell key: zero-arg factory}`` dict for a spec.
+
+    Factories are ``functools.partial`` of the module-level registry
+    lookup, so they pickle cleanly into pool workers. Unknown policy
+    names raise :class:`SpecError` (with the known names) rather than
+    failing later inside a worker.
+    """
+    from repro.policies.base import make_policy, registered_policies
+
+    known = set(registered_policies())
+    factories: dict[str, Callable] = {}
+    for key, name, kwargs in spec.policy_items():
+        if name not in known:
+            raise SpecError(
+                f"unknown policy {name!r}; known: {', '.join(sorted(known))}"
+            )
+        factories[key] = partial(make_policy, name, **kwargs)
+    return factories
+
+
+def load_matrix_source(spec: SweepSpec):
+    """Resolve a matrix job's workload: a generated benchmark
+    :class:`~repro.traces.trace.Trace`, or an on-disk trace opened as a
+    chunked :class:`~repro.traces.stream.TraceStream`."""
+    if spec.trace_file is not None:
+        from repro.traces.formats import open_trace
+
+        return open_trace(spec.trace_file, format=spec.trace_format)
+    from repro.workloads.spec_like import make_benchmark_trace
+
+    return make_benchmark_trace(
+        spec.benchmark,
+        length=spec.length,
+        num_sets=spec.num_sets,
+        seed=spec.seed,
+    )
+
+
+def load_mix_traces(spec: SweepSpec) -> dict[str, list]:
+    """Materialize a mix_matrix job's per-thread benchmark traces."""
+    from repro.workloads.spec_like import make_benchmark_trace
+
+    return {
+        str(mix_key): [
+            make_benchmark_trace(
+                name, length=spec.length, num_sets=spec.num_sets, seed=spec.seed
+            )
+            for name in names
+        ]
+        for mix_key, names in spec.mixes.items()
+    }
+
+
+def spec_geometry(spec: SweepSpec):
+    """The spec's :class:`~repro.memory.cache.CacheGeometry`."""
+    from repro.memory.cache import CacheGeometry
+
+    return CacheGeometry(
+        num_sets=spec.num_sets, ways=spec.ways, line_size=spec.line_size
+    )
+
+
+@dataclass
+class JobRecord:
+    """One submitted sweep job and its lifecycle bookkeeping."""
+
+    job_id: str
+    spec: SweepSpec
+    state: str = "queued"
+    submitted_at: str = field(default_factory=utc_now_iso)
+    started_at: str | None = None
+    finished_at: str | None = None
+    total_cells: int = 0
+    skipped_cells: int = 0
+    ran_cells: int = 0
+    failed_cells: int = 0
+    interrupted: bool = False
+    error: str | None = None
+
+    @classmethod
+    def new(cls, spec: SweepSpec) -> "JobRecord":
+        """A fresh queued record with a sortable unique job id."""
+        return cls(job_id=new_run_id(), spec=spec)
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the job will never change state again."""
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        """The JSON-ready form (round-trips via :meth:`from_dict`)."""
+        data = asdict(self)
+        data["spec"] = self.spec.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["spec"] = SweepSpec.from_dict(payload.get("spec", {}))
+        known = set(cls.__dataclass_fields__)
+        payload = {k: v for k, v in payload.items() if k in known}
+        return cls(**payload)
+
+
+class JobStore:
+    """Directory-backed persistence for job records and namespaces.
+
+    Layout under the service root::
+
+        <root>/jobs/<job_id>.json        one JSON file per job, atomic
+        <root>/namespaces/<namespace>/   manifest dir per tenant
+        <root>/service.sock              the daemon's unix socket
+
+    Records are written with temp-file + ``os.replace`` so a reader (or
+    a crashed writer) never observes a partial document — the property
+    the restart-recovery path depends on.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.namespaces_dir = self.root / "namespaces"
+
+    def ensure_layout(self) -> None:
+        """Create the root/jobs/namespaces directories."""
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.namespaces_dir.mkdir(parents=True, exist_ok=True)
+
+    def namespace_dir(self, namespace: str) -> Path:
+        """The manifest directory of one namespace (created on demand)."""
+        path = self.namespaces_dir / namespace
+        path.mkdir(parents=True, exist_ok=True)
+        return path
+
+    def save(self, record: JobRecord) -> Path:
+        """Atomically persist one record; returns its path."""
+        self.ensure_layout()
+        path = self.jobs_dir / f"{record.job_id}.json"
+        payload = json.dumps(record.to_dict(), indent=2, sort_keys=True)
+        handle, temp_path = tempfile.mkstemp(dir=self.jobs_dir, suffix=".json.tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as fh:
+                fh.write(payload + "\n")
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def get(self, job_id: str) -> JobRecord | None:
+        """Load one record, or None when unknown/unreadable."""
+        path = self.jobs_dir / f"{job_id}.json"
+        try:
+            with open(path, encoding="utf-8") as fh:
+                return JobRecord.from_dict(json.load(fh))
+        except (OSError, ValueError, KeyError, TypeError, SpecError):
+            return None
+
+    def list_jobs(self) -> list[JobRecord]:
+        """Every readable record, sorted by (submitted_at, job_id)."""
+        records = []
+        if self.jobs_dir.is_dir():
+            for path in sorted(self.jobs_dir.glob("*.json")):
+                record = self.get(path.stem)
+                if record is not None:
+                    records.append(record)
+        records.sort(key=lambda r: (r.submitted_at, r.job_id))
+        return records
+
+    def recover(self) -> list[JobRecord]:
+        """Restart recovery: re-queue interrupted work.
+
+        Jobs found ``running`` were interrupted by a daemon death — flip
+        them back to ``queued`` with ``interrupted=True`` (the resume
+        scheduler skips their completed cells). Returns every job now
+        pending, in submission order, ready to enqueue.
+        """
+        pending = []
+        for record in self.list_jobs():
+            if record.state == "running":
+                record.state = "queued"
+                record.interrupted = True
+                self.save(record)
+            if record.state == "queued":
+                pending.append(record)
+        return pending
+
+
+__all__ = [
+    "JOB_STATES",
+    "JobRecord",
+    "JobStore",
+    "SpecError",
+    "SweepSpec",
+    "TERMINAL_STATES",
+    "VALID_KINDS",
+    "load_matrix_source",
+    "load_mix_traces",
+    "policy_factories",
+    "spec_geometry",
+]

@@ -1,0 +1,235 @@
+"""Wire protocol of the sweep service: line-delimited JSON over a socket.
+
+Every message — request, response, or streamed event — is one JSON
+object serialized onto a single ``\\n``-terminated line (UTF-8, no
+embedded newlines), the classic ndjson framing: trivially greppable,
+tail-able, and parseable from any language with a socket and a JSON
+library. The daemon listens on a unix domain socket that lives inside
+its service root (:func:`service_socket`), so addressing a service is
+the same as naming its root directory.
+
+Requests carry an ``op`` field::
+
+    {"op": "ping"}
+    {"op": "submit", "spec": {...SweepSpec...}}
+    {"op": "jobs"}
+    {"op": "watch", "job_id": "...", "replay": true}
+    {"op": "shutdown"}
+
+Responses carry ``ok`` (boolean) plus op-specific payload; failures are
+``{"ok": false, "error": "..."}``. ``watch`` is the one streaming op:
+the server emits ``{"ok": true, "event": {...}}`` lines (each event a
+JSON-ified :class:`repro.obs.progress.ProgressEvent` or job lifecycle
+record) and terminates the stream with ``{"ok": true, "done": {...job
+record...}}``.
+
+:class:`ServiceClient` is the synchronous client used by the CLI
+(``repro submit`` / ``jobs`` / ``watch``) and tests; the async helpers
+(:func:`read_message` / :func:`write_message`) are the server side.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+from collections.abc import Iterator
+from pathlib import Path
+
+#: Protocol revision, echoed by ``ping`` so clients can detect skew.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one framed line; anything larger is a protocol error
+#: (sweep specs and progress events are tiny — a oversized line means a
+#: confused or hostile peer, not a legitimate message).
+MAX_LINE_BYTES = 1 << 20
+
+#: Socket filename inside a service root directory.
+SOCKET_FILENAME = "service.sock"
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, oversized, or non-JSON-object wire message."""
+
+
+def service_socket(root: str | os.PathLike) -> Path:
+    """The unix-socket path for the service rooted at ``root``."""
+    return Path(root) / SOCKET_FILENAME
+
+
+def encode_message(payload: dict) -> bytes:
+    """Frame one message: compact JSON plus the terminating newline."""
+    line = json.dumps(payload, separators=(",", ":"), sort_keys=True)
+    data = line.encode("utf-8") + b"\n"
+    if len(data) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(data)} bytes exceeds MAX_LINE_BYTES "
+            f"({MAX_LINE_BYTES})"
+        )
+    return data
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one framed line back into a message dict."""
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError("line exceeds MAX_LINE_BYTES")
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON on the wire: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"wire messages must be JSON objects, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def error_response(message: str) -> dict:
+    """The canonical failure response."""
+    return {"ok": False, "error": message}
+
+
+async def read_message(reader) -> dict | None:
+    """Read one framed message from an asyncio stream reader.
+
+    Returns None on a clean EOF (peer closed the connection). Raises
+    :class:`ProtocolError` on malformed input.
+    """
+    import asyncio
+
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise ProtocolError("line exceeds the stream limit") from None
+    if not line:
+        return None
+    return decode_message(line)
+
+
+async def write_message(writer, payload: dict) -> None:
+    """Frame and send one message on an asyncio stream writer."""
+    writer.write(encode_message(payload))
+    await writer.drain()
+
+
+class ServiceClient:
+    """Synchronous line-delimited JSON client for the sweep daemon.
+
+    Connects lazily on first use; usable as a context manager. One
+    client holds one connection and issues requests sequentially (the
+    protocol has no multiplexing — open a second client for concurrent
+    streams).
+    """
+
+    def __init__(self, socket_path: str | os.PathLike, timeout: float = 30.0):
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    def connect(self) -> "ServiceClient":
+        """Open the connection (no-op when already connected)."""
+        if self._sock is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
+    def _send(self, payload: dict) -> None:
+        """Frame and flush one request line."""
+        self.connect()
+        self._file.write(encode_message(payload))
+        self._file.flush()
+
+    def _receive(self) -> dict:
+        """Read and decode one response line (errors on EOF)."""
+        line = self._file.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ProtocolError("server closed the connection mid-exchange")
+        return decode_message(line)
+
+    def request(self, payload: dict) -> dict:
+        """One request → one response; raises on ``ok: false``."""
+        self._send(payload)
+        response = self._receive()
+        if not response.get("ok", False):
+            raise ProtocolError(response.get("error", "unknown server error"))
+        return response
+
+    def stream(self, payload: dict) -> Iterator[dict]:
+        """One request → a stream of responses, ending at ``done``.
+
+        Yields each response dict (including the terminal one, which
+        carries ``done``). Raises on any ``ok: false`` line.
+        """
+        self._send(payload)
+        while True:
+            response = self._receive()
+            if not response.get("ok", False):
+                raise ProtocolError(response.get("error", "unknown server error"))
+            yield response
+            if "done" in response:
+                return
+
+    # -- convenience ops ---------------------------------------------------
+
+    def ping(self) -> dict:
+        """Health check; returns the server's ping payload."""
+        return self.request({"op": "ping"})
+
+    def submit(self, spec: dict) -> dict:
+        """Submit one sweep spec; returns the created job record."""
+        return self.request({"op": "submit", "spec": spec})["job"]
+
+    def jobs(self) -> list[dict]:
+        """List every job record the service knows about."""
+        return self.request({"op": "jobs"})["jobs"]
+
+    def watch(self, job_id: str, replay: bool = True) -> Iterator[dict]:
+        """Stream a job's progress events; final item carries ``done``."""
+        return self.stream({"op": "watch", "job_id": job_id, "replay": replay})
+
+    def shutdown(self) -> dict:
+        """Ask an idle server to stop accepting work and exit."""
+        return self.request({"op": "shutdown"})
+
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ServiceClient",
+    "SOCKET_FILENAME",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "read_message",
+    "service_socket",
+    "write_message",
+]

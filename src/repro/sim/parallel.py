@@ -18,7 +18,11 @@ Worker count resolution (``resolve_max_workers``): an explicit
 variable, then ``os.cpu_count()``. A resolved count of 1 — or any failure
 to stand up the pool (unpicklable payloads, sandboxed environments
 without process support) — falls back to running serially in-process, so
-these entry points are always safe to call.
+these entry points are always safe to call. The fallback is *loud*: it
+raises a :class:`RuntimeWarning`, emits a ``warning`` progress event
+through the grid observer, and the sweep manifest records
+``workers_requested`` vs ``workers_effective`` so a degraded sweep is
+diagnosable from its manifest alone.
 
 Observability: both grid runners accept ``on_event`` (a callback fed
 started/finished/failed :class:`repro.obs.progress.ProgressEvent`
@@ -47,6 +51,7 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import warnings
 from collections.abc import Callable, Iterable
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -58,7 +63,12 @@ from repro.core.pdp_policy import PDPPolicy
 from repro.memory.cache import CacheGeometry
 from repro.memory.columnar import merge_shard_parts, run_llc_shard, set_shardable
 from repro.memory.timing import TimingModel
-from repro.obs.manifest import Manifest, TaskFailure, trace_fingerprint
+from repro.obs.manifest import (
+    FingerprintAccumulator,
+    Manifest,
+    TaskFailure,
+    trace_fingerprint,
+)
 from repro.obs.manifest import git_sha as _git_sha
 from repro.obs.progress import ProgressEvent, ProgressReporter
 from repro.obs.telemetry import TELEMETRY
@@ -210,6 +220,69 @@ def _run_shared_task(
     return key, result, _task_telemetry_snapshot()
 
 
+class _FingerprintingStream(TraceStream):
+    """A pass-through :class:`TraceStream` that fingerprints its first
+    complete pass.
+
+    ``run_matrix`` wraps stream sources in one of these so the sweep
+    manifest can carry a real, chunk-size-invariant trace fingerprint —
+    the grid already iterates the stream at least once (payload copy on
+    the pooled path, per-cell simulation on the serial path), so the
+    digest comes for free instead of needing a second scan of the file.
+    Only a pass that ran to exhaustion finalizes the digest; an aborted
+    iteration (a failing cell) leaves the accumulator to retry on the
+    next pass.
+    """
+
+    def __init__(self, inner: TraceStream) -> None:
+        self._inner = inner
+        self._digest: str | None = None
+        super().__init__(
+            self._fingerprinting_chunks,
+            name=inner.name,
+            instructions_per_access=inner.instructions_per_access,
+            length=inner.length,
+            source=inner.source,
+            format=inner.format,
+        )
+
+    def _fingerprinting_chunks(self):
+        """Yield the inner chunks, accumulating the digest en route."""
+        if self._digest is not None:
+            yield from self._inner.chunks()
+            return
+        accumulator = FingerprintAccumulator()
+        for chunk in self._inner.chunks():
+            accumulator.update(chunk)
+            yield chunk
+        self._digest = accumulator.digest(self.name, self.instructions_per_access)
+
+    @property
+    def fingerprint(self) -> str | None:
+        """The digest of one full pass, or None if no pass completed."""
+        return self._digest
+
+
+def _warn_serial_fallback(
+    observer: "_GridObserver | None", label: str, requested: int, reason: str
+) -> None:
+    """Surface a parallel-to-serial degradation instead of hiding it.
+
+    A user who asked for N workers and got 1 deserves a signal: emit a
+    :class:`RuntimeWarning` and — when the grid has an observer — a
+    ``warning`` progress event (which also lands in ``events.jsonl``).
+    The sweep manifest additionally records ``workers_requested`` vs
+    ``workers_effective`` so the degradation is diagnosable post hoc.
+    """
+    message = (
+        f"{label}: requested {requested} workers but running serially — "
+        f"{reason}"
+    )
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+    if observer is not None:
+        observer.warning("serial-fallback", message)
+
+
 class _GridObserver:
     """Per-grid progress/event-log/failure bookkeeping.
 
@@ -265,6 +338,10 @@ class _GridObserver:
             TaskFailure.from_exception(key, exc, policy=policy, workload=workload)
         )
         self.reporter.failed(key, exc)
+
+    def warning(self, key, message: str) -> None:
+        """Broadcast a grid-level warning (no per-task status change)."""
+        self.reporter.warning(key, message)
 
     def task_records(self) -> list[dict]:
         """JSON-ready ``{key, status}`` rows for the sweep manifest."""
@@ -447,6 +524,11 @@ def run_matrix(
     workers = resolve_max_workers(max_workers)
     items = list(factories.items())
     stream_source = isinstance(trace, TraceStream)
+    if stream_source:
+        # Fingerprint the stream on its first full pass (payload copy or
+        # first serial cell) so the sweep manifest can identify the
+        # trace — resume matching needs it (see repro.service.scheduler).
+        trace = _FingerprintingStream(trace)
     partitions = 0
     if set_partitions is not None:
         if set_partitions < 1:
@@ -524,13 +606,31 @@ def run_matrix(
 
     serial = partial(_run_serial_tasks, run_one, task_items, observer)
     start = perf_counter()
+    effective = {"workers": 1}
     use_pool = workers > 1 and len(task_items) > 1
     if use_pool:
         try:
             pickle.dumps([factory for _, factory in items])
-        except Exception:
+        except Exception as exc:
             use_pool = False
+            _warn_serial_fallback(
+                observer,
+                "matrix",
+                workers,
+                f"policy factories are not picklable ({type(exc).__name__}: {exc})",
+            )
     if use_pool:
+        effective["workers"] = min(workers, len(task_items))
+
+        def serial_after_pool_failure():
+            effective["workers"] = 1
+            _warn_serial_fallback(
+                observer,
+                "matrix",
+                workers,
+                "process pool unavailable (infrastructure failure)",
+            )
+            return serial()
 
         def write_payloads(payload_dir: Path) -> list[tuple]:
             trace_path = str(payload_dir / "trace.trz")
@@ -560,7 +660,7 @@ def run_matrix(
             _run_packed_task,
             min(workers, len(task_items)),
             write_payloads,
-            serial,
+            serial_after_pool_failure,
             observer,
         )
     else:
@@ -584,15 +684,18 @@ def run_matrix(
 
     def sweep_manifest(obs: _GridObserver) -> Manifest:
         wall = perf_counter() - start
-        # Per-cell manifests carry the exact stream fingerprint; the
-        # sweep-level record avoids re-scanning a file-backed stream.
-        fingerprint = None if stream_source else trace_fingerprint(trace)
+        # Stream sources fingerprint during their first full pass (see
+        # _FingerprintingStream) — no extra scan of the file, and the
+        # sweep manifest can identify the trace for resume matching.
+        fingerprint = trace.fingerprint if stream_source else trace_fingerprint(trace)
         length = (trace.length or 0) if stream_source else len(trace)
         config = {
             "num_sets": geometry.num_sets,
             "ways": geometry.ways,
             "line_size": geometry.line_size,
             "workers": workers,
+            "workers_requested": workers,
+            "workers_effective": effective["workers"],
         }
         if sharded:
             config["set_partitions"] = partitions
@@ -694,13 +797,31 @@ def run_mix_matrix(
         _run_serial_tasks, run_one, [(key, None) for key in grid], observer
     )
     start = perf_counter()
+    effective = {"workers": 1}
     use_pool = workers > 1 and len(grid) > 1
     if use_pool:
         try:
             pickle.dumps(list(factories.values()))
-        except Exception:
+        except Exception as exc:
             use_pool = False
+            _warn_serial_fallback(
+                observer,
+                "mix-matrix",
+                workers,
+                f"policy factories are not picklable ({type(exc).__name__}: {exc})",
+            )
     if use_pool:
+        effective["workers"] = min(workers, len(grid))
+
+        def serial_after_pool_failure():
+            effective["workers"] = 1
+            _warn_serial_fallback(
+                observer,
+                "mix-matrix",
+                workers,
+                "process pool unavailable (infrastructure failure)",
+            )
+            return serial()
 
         def write_payloads(payload_dir: Path) -> list[tuple]:
             mix_paths: dict[str, list[str]] = {}
@@ -730,7 +851,7 @@ def run_mix_matrix(
             _run_shared_task,
             min(workers, len(grid)),
             write_payloads,
-            serial,
+            serial_after_pool_failure,
             observer,
         )
     else:
@@ -751,6 +872,8 @@ def run_mix_matrix(
                 "ways": geometry.ways,
                 "line_size": geometry.line_size,
                 "workers": workers,
+                "workers_requested": workers,
+                "workers_effective": effective["workers"],
                 "mixes": len(mixes),
             },
             git_sha=_git_sha(),

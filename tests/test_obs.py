@@ -104,13 +104,56 @@ class TestManifest:
         second.save(tmp_path)
         first.save(tmp_path)
         (tmp_path / "junk.json").write_text("{not json")
-        loaded = load_manifests(tmp_path)
+        with pytest.warns(RuntimeWarning, match="junk.json"):
+            loaded = load_manifests(tmp_path)
         assert [m.run_id for m in loaded] == ["00-a", "00-b"]
+
+    def test_scan_manifests_reports_skipped_paths(self, tmp_path):
+        from repro.obs.manifest import scan_manifests
+
+        good = Manifest(kind="llc", workload="a", policy="p", run_id="00-a")
+        good.save(tmp_path)
+        (tmp_path / "corrupt.json").write_text("{not json")
+        (tmp_path / "wrong-shape.json").write_text('["a", "list"]')
+        report = scan_manifests(tmp_path)
+        assert [m.run_id for m in report.manifests] == ["00-a"]
+        skipped = {Path(s.path).name: s.error for s in report.skipped}
+        assert set(skipped) == {"corrupt.json", "wrong-shape.json"}
+        assert all(error for error in skipped.values())
+
+    def test_scan_manifests_missing_dir_is_empty(self, tmp_path):
+        from repro.obs.manifest import scan_manifests
+
+        report = scan_manifests(tmp_path / "nope")
+        assert report.manifests == [] and report.skipped == []
+
+    def test_summarize_surfaces_skipped_files(self, tmp_path):
+        from repro.obs.manifest import scan_manifests
+
+        Manifest(kind="llc", workload="a", policy="p", run_id="00-a").save(tmp_path)
+        (tmp_path / "corrupt.json").write_text("{not json")
+        report = scan_manifests(tmp_path)
+        text = summarize_manifests(report.manifests, skipped=report.skipped)
+        assert "WARNING" in text
+        assert "corrupt.json" in text
+        # without skipped files the warning section is absent
+        assert "WARNING" not in summarize_manifests(report.manifests)
 
     def test_trace_fingerprint_tracks_content(self):
         a, b = _trace(seed=1), _trace(seed=2)
         assert trace_fingerprint(a) == trace_fingerprint(a)
         assert trace_fingerprint(a) != trace_fingerprint(b)
+
+    def test_fingerprint_source_stream_matches_trace(self):
+        from repro.obs.manifest import fingerprint_source
+        from repro.traces.stream import as_stream
+
+        trace = _trace(seed=3)
+        # identical digest for the in-memory trace and any chunking of it
+        assert fingerprint_source(trace) == trace_fingerprint(trace)
+        for chunk_size in (64, 1000, 5000):
+            stream = as_stream(trace, chunk_size=chunk_size)
+            assert fingerprint_source(stream) == trace_fingerprint(trace)
 
     def test_resolve_manifest_dir(self, monkeypatch, tmp_path):
         monkeypatch.delenv(ENV_MANIFEST_DIR, raising=False)

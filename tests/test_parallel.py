@@ -96,10 +96,71 @@ def test_parallel_compare_matches_serial(trace):
 
 
 def test_unpicklable_factory_falls_back_to_serial(trace):
-    factories = {"lru": lambda: LRUPolicy()}  # lambdas cannot cross processes
-    results = run_matrix(trace, factories, GEOMETRY, max_workers=2)
-    reference = compare_policies(trace, {"lru": LRUPolicy}, GEOMETRY)
+    # lambdas cannot cross processes; two cells so the pool is attempted
+    factories = {"lru": lambda: LRUPolicy(), "drrip": lambda: DRRIPPolicy()}
+    with pytest.warns(RuntimeWarning, match="running serially"):
+        results = run_matrix(trace, factories, GEOMETRY, max_workers=2)
+    reference = compare_policies(
+        trace, {"lru": LRUPolicy, "drrip": DRRIPPolicy}, GEOMETRY
+    )
     assert _summaries(results) == _summaries(reference)
+
+
+def test_serial_fallback_emits_warning_event_and_manifest_workers(trace, tmp_path):
+    """The silent-fallback bug: degrading to serial must be loud — a
+    RuntimeWarning, a ``warning`` progress event, and the requested vs
+    effective worker counts recorded in the sweep manifest."""
+    from repro.obs.manifest import load_manifests
+
+    events = []
+    factories = {"lru": lambda: LRUPolicy(), "drrip": lambda: DRRIPPolicy()}
+    with pytest.warns(RuntimeWarning, match="not picklable"):
+        run_matrix(
+            trace, factories, GEOMETRY, max_workers=4,
+            manifest_dir=tmp_path, on_event=events.append,
+        )
+    warnings_seen = [e for e in events if e.kind == "warning"]
+    assert len(warnings_seen) == 1
+    assert "4 workers" in warnings_seen[0].error
+    sweep = [m for m in load_manifests(tmp_path) if m.kind == "matrix"][0]
+    assert sweep.config["workers_requested"] == 4
+    assert sweep.config["workers_effective"] == 1
+
+
+def test_pooled_matrix_records_effective_workers(trace, tmp_path):
+    """The healthy pooled path records effective == min(requested, cells)
+    and emits no warning events."""
+    from repro.obs.manifest import load_manifests
+
+    events = []
+    factories = {"lru": LRUPolicy, "drrip": DRRIPPolicy}
+    run_matrix(
+        trace, factories, GEOMETRY, max_workers=3,
+        manifest_dir=tmp_path, on_event=events.append,
+    )
+    assert [e for e in events if e.kind == "warning"] == []
+    sweep = [m for m in load_manifests(tmp_path) if m.kind == "matrix"][0]
+    assert sweep.config["workers_requested"] == 3
+    assert sweep.config["workers_effective"] == 2  # capped by 2 cells
+
+
+def test_stream_sweep_manifest_records_fingerprint(trace, tmp_path):
+    """The fingerprint-hole bug: a stream-sourced sweep manifest must
+    carry the chunk-size-invariant trace fingerprint, equal to the
+    in-memory trace's digest, not None."""
+    from repro.obs.manifest import load_manifests, trace_fingerprint
+    from repro.traces.formats import open_trace, write_stream
+    from repro.traces.stream import as_stream
+
+    path = tmp_path / "payload.trz"
+    write_stream(as_stream(trace), path)
+    out = tmp_path / "manifests"
+    run_matrix(
+        open_trace(path), {"lru": LRUPolicy}, GEOMETRY,
+        max_workers=1, manifest_dir=out,
+    )
+    sweep = [m for m in load_manifests(out) if m.kind == "matrix"][0]
+    assert sweep.trace_fingerprint == trace_fingerprint(trace)
 
 
 def test_runner_delegates_to_parallel(trace):
@@ -217,7 +278,8 @@ def test_run_mix_matrix_precomputed_singles():
 def test_run_mix_matrix_unpicklable_falls_back_to_serial():
     mixes = _mixes()
     lambdas = {"lru": lambda: LRUPolicy()}  # lambdas cannot cross processes
-    results = run_mix_matrix(mixes, lambdas, GEOMETRY, max_workers=2)
+    with pytest.warns(RuntimeWarning, match="running serially"):
+        results = run_mix_matrix(mixes, lambdas, GEOMETRY, max_workers=2)
     reference = run_mix_matrix(mixes, {"lru": LRUPolicy}, GEOMETRY, max_workers=1)
     assert _mix_summaries(results) == _mix_summaries(reference)
 
