@@ -7,7 +7,10 @@ policy, every baseline the paper compares against (LRU, DIP, DRRIP,
 TA-DRRIP, EELRU, SDP, UCP, PIPP), and the full substrate: a set-associative
 cache simulator, a three-level hierarchy, synthetic SPEC-like workload
 generators with controlled reuse-distance distributions, an analytic
-timing model, and hardware overhead/cycle models.
+timing model, and hardware overhead/cycle models. Beyond the LLC,
+:mod:`repro.swcache` applies the protecting-distance idea to
+variable-size software caches (object/CDN tier) — see
+``docs/SCENARIOS.md``.
 
 Quickstart::
 
@@ -68,13 +71,20 @@ from repro.sim import (
     run_llc,
     run_shared_llc,
 )
-from repro.traces import Trace, reuse_distance_distribution
+from repro.swcache import (
+    ObjectCache,
+    PDPProtectionPolicy,
+    make_software_policy,
+    run_object_cache,
+)
+from repro.traces import ObjectTrace, Trace, reuse_distance_distribution
 from repro.types import Access, AccessType
 from repro.workloads import (
     RDDProfileGenerator,
     benchmark_names,
     generate_mixes,
     make_benchmark_trace,
+    make_object_stream,
 )
 
 __version__ = "1.0.0"

@@ -297,15 +297,56 @@ def _cmd_experiment(args) -> int:
 
         print(prefetch_study.format_report(prefetch_study.run_prefetch_study(args.fast)))
         return 0
+    if args.name == "objectstore":
+        return _cmd_experiment_objectstore(args)
     try:
         module_name, run_name, fmt_name = _EXPERIMENTS[args.name]
     except KeyError:
-        known = ", ".join(sorted(_EXPERIMENTS) + ["fig5", "fig12", "prefetch"])
+        known = ", ".join(
+            sorted([*_EXPERIMENTS, "fig5", "fig12", "objectstore", "prefetch"])
+        )
         print(f"unknown experiment {args.name!r}; known: {known}", file=sys.stderr)
         return 2
     module = importlib.import_module(f"repro.experiments.{module_name}")
     results = getattr(module, run_name)(fast=args.fast)
     print(getattr(module, fmt_name)(results))
+    return 0
+
+
+def _cmd_experiment_objectstore(args) -> int:
+    """The software-cache scenario: policy comparison over an object
+    trace (generated or --trace-file), with windowed hit/byte-hit
+    series in the manifests (see repro.experiments.objectstore)."""
+    from repro.experiments import objectstore as objectstore_experiment
+    from repro.swcache.policies import SOFTWARE_POLICIES
+
+    stream = None
+    if args.trace_file:
+        from repro.traces.formats import open_trace
+
+        stream = open_trace(args.trace_file)
+    policies = tuple(p.strip() for p in args.policies.split(",") if p.strip())
+    unknown = [p for p in policies if p not in SOFTWARE_POLICIES]
+    if unknown:
+        known = ", ".join(sorted(SOFTWARE_POLICIES))
+        print(
+            f"unknown software-cache policy {unknown[0]!r}; known: {known}",
+            file=sys.stderr,
+        )
+        return 2
+    rows = objectstore_experiment.run_objectstore(
+        trace=stream,
+        policies=policies,
+        accesses=args.accesses,
+        capacity_bytes=int(args.capacity_mb * 1024 * 1024),
+        ttl=args.ttl_ms,
+        fast=args.fast,
+        seed=args.seed,
+        window_size=args.window_size,
+        manifest_dir=_manifest_dir(args),
+        on_event=_progress_callback(args, "objectstore"),
+    )
+    print(objectstore_experiment.format_report(rows))
     return 0
 
 
@@ -710,7 +751,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="print per-cell progress events (with ETA) to stderr "
-        "(fig4/fig10/fig12)",
+        "(fig4/fig10/fig12/objectstore)",
+    )
+    objstore = experiment.add_argument_group(
+        "objectstore", "options for the software-cache scenario driver"
+    )
+    objstore.add_argument(
+        "--trace-file",
+        default=None,
+        help="object trace to replay (any readable trace format; "
+        "default: a generated Zipf workload)",
+    )
+    objstore.add_argument(
+        "--accesses",
+        type=int,
+        default=1_000_000,
+        help="requests in the generated workload (ignored with "
+        "--trace-file)",
+    )
+    objstore.add_argument(
+        "--capacity-mb",
+        type=float,
+        default=256.0,
+        help="software-cache byte budget in MiB",
+    )
+    objstore.add_argument(
+        "--ttl-ms",
+        type=float,
+        default=None,
+        help="object TTL in trace milliseconds (default: no expiry)",
+    )
+    objstore.add_argument(
+        "--policies",
+        default="size-lru,gdsf,tinylfu,pdp",
+        help="comma-separated software-cache policies to compare",
+    )
+    objstore.add_argument(
+        "--seed", type=int, default=0, help="generated-workload RNG seed"
+    )
+    objstore.add_argument(
+        "--window-size",
+        type=int,
+        default=None,
+        help="accesses per recorded time-series window "
+        "(default: 1/64 of the stream)",
     )
     experiment.set_defaults(func=_cmd_experiment)
 

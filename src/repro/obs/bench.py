@@ -278,6 +278,14 @@ def _window_plots(manifest) -> list[str]:
         f"  - hit rate  `{sparkline(hit_rates)}`  "
         f"min {min(hit_rates):.3f} max {max(hit_rates):.3f}"
     )
+    byte_rates = [
+        w.byte_hit_rate for w in windows if w.bytes_requested is not None
+    ]
+    if byte_rates:
+        lines.append(
+            f"  - byte hit  `{sparkline(byte_rates)}`  "
+            f"min {min(byte_rates):.3f} max {max(byte_rates):.3f}"
+        )
     pds = [w.pd for w in windows if w.pd is not None]
     if pds:
         lines.append(
@@ -332,8 +340,8 @@ def render_report(
 
     Built from the manifests alone (no re-simulation): the summary
     table of :func:`repro.obs.manifest.summarize_manifests`, per-run
-    sparkline plots of recorded windows (hit rate, PD, protected lines,
-    evictions), and — when a trajectory file is present — per-key
+    sparkline plots of recorded windows (hit rate, byte hit rate for
+    software-cache runs, PD, protected lines, evictions), and — when a trajectory file is present — per-key
     throughput history. ``html=True`` wraps the markdown in a minimal
     self-contained HTML page.
     """

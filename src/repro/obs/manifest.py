@@ -87,18 +87,32 @@ class FingerprintAccumulator:
     fingerprint match the one-shot run's (``tests/test_streaming.py``).
     Call :meth:`update` per chunk, then :meth:`digest` with the
     stream-level metadata.
+
+    Trace subclasses carrying extra columns (e.g.
+    :class:`repro.traces.objects.ObjectTrace` with sizes/ops/timestamps)
+    expose them through an ``extra_column_items()`` method; each named
+    extra column feeds its own running hash, keyed by name, so the
+    digest covers everything a simulation can observe while plain
+    traces keep their historical fingerprints bit for bit.
     """
 
     def __init__(self) -> None:
         self._addresses = hashlib.sha256()
         self._pcs = hashlib.sha256()
         self._thread_ids = hashlib.sha256()
+        self._extra: dict[str, "hashlib._Hash"] = {}
 
     def update(self, chunk) -> None:
         """Fold one :class:`Trace` chunk's columns into the running hash."""
         self._addresses.update(chunk.addresses.tobytes())
         self._pcs.update(chunk.pcs.tobytes())
         self._thread_ids.update(chunk.thread_ids.tobytes())
+        extra_items = getattr(chunk, "extra_column_items", None)
+        if extra_items is not None:
+            for column_name, column in extra_items():
+                if column_name not in self._extra:
+                    self._extra[column_name] = hashlib.sha256()
+                self._extra[column_name].update(column.tobytes())
 
     def digest(self, name: str, instructions_per_access: float) -> str:
         """Finalize with the stream-level name and dilution."""
@@ -106,6 +120,9 @@ class FingerprintAccumulator:
         combined.update(self._addresses.digest())
         combined.update(self._pcs.digest())
         combined.update(self._thread_ids.digest())
+        for column_name in sorted(self._extra):
+            combined.update(column_name.encode("utf-8"))
+            combined.update(self._extra[column_name].digest())
         combined.update(name.encode("utf-8"))
         combined.update(repr(float(instructions_per_access)).encode("utf-8"))
         return combined.hexdigest()[:24]

@@ -69,6 +69,10 @@ class Window:
     policies exposing ``current_pd`` / ``protected_count`` (PDP), else
     None. ``thread_accesses`` .. ``thread_bypasses`` are per-thread
     frozen counters in shared-LLC runs, else None.
+    ``bytes_requested``/``bytes_hit`` are recorded only for caches whose
+    stats carry the byte axis (the software object cache of
+    :mod:`repro.swcache`), else None — hardware windows are unchanged,
+    so the payload stays schema version 1.
     """
 
     index: int
@@ -88,11 +92,21 @@ class Window:
     thread_hits: list[int] | None = None
     thread_misses: list[int] | None = None
     thread_bypasses: list[int] | None = None
+    bytes_requested: int | None = None
+    bytes_hit: int | None = None
 
     @property
     def hit_rate(self) -> float:
         """Hits over accesses within this window (0.0 when empty)."""
         return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def byte_hit_rate(self) -> float:
+        """Bytes served from cache over bytes requested within this
+        window (0.0 when the window carries no byte counters)."""
+        if not self.bytes_requested:
+            return 0.0
+        return (self.bytes_hit or 0) / self.bytes_requested
 
     def to_dict(self) -> dict:
         """JSON-native form (None fields elided to keep manifests lean)."""
@@ -116,6 +130,8 @@ class Window:
             "thread_hits",
             "thread_misses",
             "thread_bypasses",
+            "bytes_requested",
+            "bytes_hit",
         ):
             value = getattr(self, name)
             if value is not None:
@@ -173,6 +189,8 @@ class WindowedRecorder:
         self._reused_evictions = 0
         self._cause_base = 0
         self._thread_window: list[list[int]] | None = None
+        self._byte_capable = False
+        self._bytes_base: tuple[int, int] = (0, 0)
 
     # -- observer protocol (eviction causes only) -------------------------
 
@@ -212,6 +230,9 @@ class WindowedRecorder:
             cache.observers.append(self)
         self._stats_base = self._stats_snapshot()
         self._cause_base = self._reused_evictions
+        self._byte_capable = hasattr(cache.stats, "bytes_requested")
+        if self._byte_capable:
+            self._bytes_base = self._bytes_snapshot()
         if self._num_threads:
             self._thread_window = [[0] * self._num_threads for _ in range(4)]
 
@@ -265,6 +286,12 @@ class WindowedRecorder:
             stats.fills,
         )
 
+    def _bytes_snapshot(self) -> tuple[int, int]:
+        """The recorded cache's cumulative byte counters (only called
+        for byte-capable caches, i.e. the software object cache)."""
+        stats = self._cache.stats
+        return (stats.bytes_requested, stats.bytes_hit)
+
     def _close_window(self) -> None:
         """Snapshot deltas since the window opened and append the window."""
         now = self._stats_snapshot()
@@ -283,6 +310,11 @@ class WindowedRecorder:
             evictions_reused=reused,
             evictions_dead=delta[4] - reused,
         )
+        if self._byte_capable:
+            byte_now = self._bytes_snapshot()
+            window.bytes_requested = byte_now[0] - self._bytes_base[0]
+            window.bytes_hit = byte_now[1] - self._bytes_base[1]
+            self._bytes_base = byte_now
         policy = self._policy
         if policy is not None:
             current_pd = getattr(policy, "current_pd", None)
@@ -342,9 +374,14 @@ class WindowedRecorder:
             "evictions_dead",
         )
         sums = dict.fromkeys(keys, 0)
+        byte_keys = ("bytes_requested", "bytes_hit")
         for window in self._windows:
             for key in keys:
                 sums[key] += getattr(window, key)
+            for key in byte_keys:
+                value = getattr(window, key)
+                if value is not None:
+                    sums[key] = sums.get(key, 0) + value
         return sums
 
     def pd_trajectory(self) -> list[tuple[int, int]]:

@@ -1,0 +1,407 @@
+"""Software-cache policy families: size-aware LRU, GDSF, TinyLFU, PDP.
+
+Four policies exercise the two seams of
+:class:`repro.swcache.model.ObjectCache` in increasing sophistication:
+
+- ``size-lru`` (:class:`SizeAwareLRUPolicy`) — the baseline: admit
+  everything, evict in recency order until the incoming object fits.
+- ``gdsf`` (:class:`GDSFPolicy`) — GreedyDual-Size-Frequency: victims
+  by the classic ``H = L + frequency / size`` priority with an
+  inflation clock, so small hot objects outlive large cold ones.
+- ``tinylfu`` (:class:`TinyLFUAdmissionPolicy`) — LRU eviction behind a
+  TinyLFU admission filter: a count-min sketch of request frequencies
+  decides whether the missing object is hotter than the object it would
+  displace; one-hit wonders never enter the cache.
+- ``pdp`` (:class:`PDPProtectionPolicy`) — the paper's protecting
+  distance transplanted to the object tier: reuse distance is measured
+  in *accesses* on a sampled key window, the protecting distance is
+  recomputed periodically with the same :func:`find_best_pd` hit-rate
+  model the hardware simulators use (``d_e`` = resident object count
+  standing in for associativity), and still-protected objects are
+  refused as victims — an all-protected cache bypasses the incoming
+  fill, exactly the PDP bypass semantics of the paper.
+
+:func:`make_software_policy` is the registry behind the CLI's
+``--policies`` option.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator
+import heapq
+
+import numpy as np
+
+from repro.core.hit_rate_model import find_best_pd
+from repro.swcache.model import CacheEntry, SoftwareCachePolicy
+
+
+class SizeAwareLRUPolicy(SoftwareCachePolicy):
+    """Evict least-recently-used objects until the new object fits.
+
+    The size awareness is structural: the cache keeps taking victims
+    from the recency order until enough *bytes* are free, so one large
+    fill may displace many small objects. Admission is unconditional.
+    """
+
+    name = "size-lru"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._lru: OrderedDict[int, CacheEntry] = OrderedDict()
+
+    def on_hit(self, entry: CacheEntry, now: float) -> None:
+        """Move the re-requested object to the MRU end."""
+        self._lru.move_to_end(entry.key)
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        """Track the filled object at the MRU end."""
+        self._lru[entry.key] = entry
+
+    def on_remove(self, entry: CacheEntry, reason: str) -> None:
+        """Forget the departed object."""
+        self._lru.pop(entry.key, None)
+
+    def eviction_candidates(self, now: float) -> Iterator[CacheEntry]:
+        """All resident objects, least recently used first."""
+        yield from self._lru.values()
+
+
+class GDSFPolicy(SoftwareCachePolicy):
+    """GreedyDual-Size-Frequency eviction (Cherkasova's GDSF).
+
+    Each resident object carries a priority ``H = L + hits / size``
+    where ``L`` is the inflation clock: whenever a victim is evicted,
+    ``L`` rises to its priority, so long-untouched objects decay
+    relative to fresh ones without any per-access aging sweep. The
+    min-priority object is the next victim; large objects need more
+    frequency to earn the same priority, which is what lifts the
+    *object* hit ratio of web/CDN caches over plain LRU.
+
+    The victim order comes from a lazy min-heap: stale heap items
+    (priority changed, or object since removed) are skipped on pop, and
+    items popped for a fill plan that was refused are pushed back when
+    the candidate iterator closes.
+    """
+
+    name = "gdsf"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._heap: list[tuple[float, int, CacheEntry]] = []
+        self._clock = 0.0
+        self._seq = 0
+
+    def _priority(self, entry: CacheEntry) -> float:
+        """The GDSF priority of ``entry`` at the current clock."""
+        return self._clock + (entry.hits + 1) / max(1, entry.size)
+
+    def _push(self, entry: CacheEntry) -> None:
+        """(Re)insert ``entry`` into the heap at its current priority,
+        stamping ``pstate`` so older heap items become stale."""
+        self._seq += 1
+        item = (self._priority(entry), self._seq, entry)
+        entry.pstate = (item[0], item[1])
+        heapq.heappush(self._heap, item)
+
+    def on_hit(self, entry: CacheEntry, now: float) -> None:
+        """Reprice the object: its frequency (and maybe size) changed."""
+        self._push(entry)
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        """Price the new object at the current inflation clock."""
+        self._push(entry)
+
+    def on_remove(self, entry: CacheEntry, reason: str) -> None:
+        """Invalidate the object's heap items (lazily skipped on pop)."""
+        entry.pstate = None
+
+    def eviction_candidates(self, now: float) -> Iterator[CacheEntry]:
+        """Resident objects in ascending priority; advances the clock.
+
+        Items popped for a plan that is then refused are re-pushed in
+        the ``finally`` block (the iterator is closed without their
+        entries having been removed), so a refusal leaves the heap
+        semantically unchanged.
+        """
+        popped: list[tuple[float, int, CacheEntry]] = []
+        try:
+            while self._heap:
+                priority, seq, entry = heapq.heappop(self._heap)
+                if entry.pstate != (priority, seq):
+                    continue  # stale: repriced or already removed
+                popped.append((priority, seq, entry))
+                self._clock = priority
+                yield entry
+        finally:
+            for priority, seq, entry in popped:
+                if entry.pstate == (priority, seq):
+                    heapq.heappush(self._heap, (priority, seq, entry))
+
+
+class _FrequencySketch:
+    """A count-min sketch with periodic halving (TinyLFU's freshness).
+
+    ``rows`` hash rows of ``width`` saturating uint8 counters estimate
+    request frequencies in O(1) and a few KiB regardless of key-space
+    size; after ``sample_period`` increments every counter is halved,
+    so estimates decay toward the recent request mix.
+    """
+
+    def __init__(
+        self, width: int = 1 << 16, rows: int = 4, sample_period: int | None = None
+    ) -> None:
+        if width <= 0 or width & (width - 1):
+            raise ValueError(f"sketch width must be a power of two, got {width}")
+        self.width = width
+        self.mask = width - 1
+        self.counters = np.zeros((rows, width), dtype=np.uint8)
+        self.sample_period = (
+            sample_period if sample_period is not None else 10 * width
+        )
+        self._increments = 0
+        self._shift = 64 - (width.bit_length() - 1)
+        # Odd 64-bit multipliers give each row an independent hash.
+        self._mixers = [
+            0x9E3779B97F4A7C15,
+            0xC2B2AE3D27D4EB4F,
+            0x165667B19E3779F9,
+            0x27D4EB2F165667C5,
+        ][:rows]
+
+    def _indexes(self, key: int) -> list[int]:
+        """The per-row counter slots for ``key`` (top multiplicative-
+        hash bits, one independent odd multiplier per row)."""
+        return [
+            (((key * mixer) & 0xFFFFFFFFFFFFFFFF) >> self._shift) & self.mask
+            for mixer in self._mixers
+        ]
+
+    def add(self, key: int) -> None:
+        """Count one request for ``key`` (halving on period rollover)."""
+        for row, index in enumerate(self._indexes(key)):
+            count = self.counters[row, index]
+            if count < 255:
+                self.counters[row, index] = count + 1
+        self._increments += 1
+        if self._increments >= self.sample_period:
+            self.counters >>= 1
+            self._increments //= 2
+
+    def estimate(self, key: int) -> int:
+        """The (over-)estimated request count for ``key``."""
+        return min(
+            int(self.counters[row, index])
+            for row, index in enumerate(self._indexes(key))
+        )
+
+
+class TinyLFUAdmissionPolicy(SizeAwareLRUPolicy):
+    """LRU eviction guarded by TinyLFU frequency admission.
+
+    Every request feeds the frequency sketch; on a miss with no free
+    room, the missing object is admitted only if its estimated
+    frequency exceeds that of the LRU victim it would displace. The
+    filter costs one sketch probe per miss and shields the cache from
+    one-hit wonders — scan-heavy object streams stop flushing the
+    resident working set.
+    """
+
+    name = "tinylfu"
+
+    def __init__(
+        self, sketch_width: int = 1 << 16, sample_period: int | None = None
+    ) -> None:
+        super().__init__()
+        self.sketch = _FrequencySketch(
+            width=sketch_width, sample_period=sample_period
+        )
+
+    def record_access(self, key: int, size: int, now: float, pos: int) -> None:
+        """Feed the frequency sketch (hits and misses alike)."""
+        self.sketch.add(key)
+
+    def admit(self, key: int, size: int, now: float) -> bool:
+        """Admit freely into free room; otherwise out-compete the LRU
+        victim on estimated frequency."""
+        cache = self.cache
+        if cache is None or cache.bytes_used + size <= cache.capacity_bytes:
+            return True
+        if not self._lru:
+            return True
+        victim = next(iter(self._lru.values()))
+        return self.sketch.estimate(key) > self.sketch.estimate(victim.key)
+
+
+class PDPProtectionPolicy(SizeAwareLRUPolicy):
+    """Protecting-distance protection for a byte-budget object cache.
+
+    The paper's PDP, re-based from set-relative hardware reuse
+    distances to global access counts:
+
+    - every request advances an access clock; a bounded sampler (the
+      last-seen position of up to ``sample_keys`` keys, FIFO-evicted)
+      yields reuse distances in accesses, binned into an RDD histogram
+      of ``bins`` bins of width ``max_pd / bins``;
+    - every ``recompute_interval`` requests the protecting distance is
+      recomputed with the shared :func:`find_best_pd` E(d_p) model,
+      with ``d_e`` set to the resident object count (the role cache
+      associativity plays in hardware), then the histogram resets so
+      the PD tracks phase changes;
+    - an object is *protected* until its insertion/last-hit position
+      plus the current PD. Victims are the unprotected objects in LRU
+      order; when those do not free enough bytes, a ``bypass=True``
+      policy refuses the fill (the incoming object bypasses — the
+      paper's PDP-bypass) while ``bypass=False`` falls back to evicting
+      protected objects closest to losing protection.
+
+    Exposes ``current_pd`` and ``protected_count`` so a
+    :class:`repro.obs.timeseries.WindowedRecorder` records the PD
+    trajectory and protected-byte occupancy per window unchanged.
+    """
+
+    name = "pdp"
+
+    def __init__(
+        self,
+        max_pd: int = 1 << 17,
+        bins: int = 256,
+        recompute_interval: int = 1 << 15,
+        initial_pd: int | None = None,
+        sample_keys: int = 1 << 16,
+        bypass: bool = True,
+    ) -> None:
+        super().__init__()
+        if max_pd <= 0 or bins <= 0 or recompute_interval <= 0:
+            raise ValueError(
+                "max_pd, bins and recompute_interval must be positive"
+            )
+        self.step = max(1, max_pd // bins)
+        self.max_pd = self.step * bins
+        self.bins = bins
+        self.recompute_interval = recompute_interval
+        self.sample_keys = sample_keys
+        self.bypass = bypass
+        self._pd = initial_pd if initial_pd is not None else self.max_pd // 8
+        self._pd = max(self.step, self._pd)
+        self._rdd = np.zeros(bins, dtype=np.int64)
+        self._rdd_total = 0
+        self._since_recompute = 0
+        self._last_seen: OrderedDict[int, int] = OrderedDict()
+        self._pos = 0
+        #: ``(position, pd)`` recompute history, for telemetry/tests.
+        self.pd_history: list[tuple[int, int]] = []
+
+    @property
+    def current_pd(self) -> int:
+        """The protecting distance currently in force (in accesses)."""
+        return self._pd
+
+    def protected_count(self, set_index: int = 0) -> int:
+        """Resident objects still under protection (the recorder's
+        per-window ``protected_lines`` probe; one set, so ``set_index``
+        is ignored)."""
+        return sum(
+            1
+            for entry in self._lru.values()
+            if isinstance(entry.pstate, int) and entry.pstate > self._pos
+        )
+
+    def record_access(self, key: int, size: int, now: float, pos: int) -> None:
+        """Sample the reuse distance and periodically recompute the PD."""
+        self._pos = pos
+        last = self._last_seen.pop(key, None)
+        if last is not None:
+            distance = pos - last
+            if distance < self.max_pd:
+                self._rdd[distance // self.step] += 1
+        self._last_seen[key] = pos
+        if len(self._last_seen) > self.sample_keys:
+            self._last_seen.popitem(last=False)
+        self._rdd_total += 1
+        self._since_recompute += 1
+        if self._since_recompute >= self.recompute_interval:
+            self._recompute()
+
+    def _recompute(self) -> None:
+        """Re-run the E(d_p) search over the sampled RDD and reset it."""
+        cache = self.cache
+        d_e = float(max(1, len(cache) if cache is not None else 1))
+        self._pd = find_best_pd(
+            self._rdd,
+            self._rdd_total,
+            step=self.step,
+            d_e=d_e,
+            min_pd=self.step,
+            default_pd=self._pd,
+        )
+        self.pd_history.append((self._pos, self._pd))
+        self._rdd[:] = 0
+        self._rdd_total = 0
+        self._since_recompute = 0
+
+    def _protect(self, entry: CacheEntry) -> None:
+        """Grant ``entry`` protection for the current PD."""
+        entry.pstate = self._pos + self._pd
+
+    def on_hit(self, entry: CacheEntry, now: float) -> None:
+        """Refresh recency and re-protect the reused object."""
+        super().on_hit(entry, now)
+        self._protect(entry)
+
+    def on_insert(self, entry: CacheEntry, now: float) -> None:
+        """Track recency and protect the new object."""
+        super().on_insert(entry, now)
+        self._protect(entry)
+
+    def eviction_candidates(self, now: float) -> Iterator[CacheEntry]:
+        """Unprotected objects in LRU order; then, only for a
+        non-bypass policy, protected objects closest to losing
+        protection. A ``bypass=True`` iterator ending early makes the
+        cache refuse the fill — nothing protected is ever evicted."""
+        protected: list[CacheEntry] = []
+        for entry in self._lru.values():
+            if isinstance(entry.pstate, int) and entry.pstate > self._pos:
+                protected.append(entry)
+            else:
+                yield entry
+        if self.bypass:
+            return
+        protected.sort(key=lambda entry: entry.pstate)
+        yield from protected
+
+
+#: Registry name -> policy class (the ``--policies`` option vocabulary).
+SOFTWARE_POLICIES: dict[str, type[SoftwareCachePolicy]] = {
+    SizeAwareLRUPolicy.name: SizeAwareLRUPolicy,
+    GDSFPolicy.name: GDSFPolicy,
+    TinyLFUAdmissionPolicy.name: TinyLFUAdmissionPolicy,
+    PDPProtectionPolicy.name: PDPProtectionPolicy,
+}
+
+
+def make_software_policy(name: str, **kwargs) -> SoftwareCachePolicy:
+    """Instantiate a registered software-cache policy by name.
+
+    Unknown names raise ``ValueError`` listing the known names sorted —
+    the same contract as the hardware ``make_policy`` registry.
+    """
+    try:
+        cls = SOFTWARE_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(SOFTWARE_POLICIES))
+        raise ValueError(
+            f"unknown software-cache policy {name!r}; known: {known}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "GDSFPolicy",
+    "PDPProtectionPolicy",
+    "SOFTWARE_POLICIES",
+    "SizeAwareLRUPolicy",
+    "TinyLFUAdmissionPolicy",
+    "make_software_policy",
+]

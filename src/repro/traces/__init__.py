@@ -17,11 +17,13 @@ from repro.traces.formats import (
     write_stream,
 )
 from repro.traces.io import load_trace, save_trace
+from repro.traces.objects import ObjectTrace
 from repro.traces.stream import DEFAULT_CHUNK_SIZE, TraceStream, as_stream
 from repro.traces.trace import Trace
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "ObjectTrace",
     "Trace",
     "TraceFormatError",
     "TraceStream",

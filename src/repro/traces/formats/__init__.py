@@ -1,6 +1,6 @@
 """External trace ingestion: chunked readers/writers for on-disk formats.
 
-Three formats ship:
+Four formats ship:
 
 - ``native`` (``.trz``) — our gzip-compressed chunked columnar format,
   the canonical on-disk representation (:meth:`Trace.save`, the workload
@@ -10,6 +10,10 @@ Three formats ship:
   the style of ChampSim's published trace suites.
 - ``csv`` (``.csv[.gz]``, ``.txt[.gz]``) — one ``address[,pc[,tid]]``
   line per access; the human-readable on-ramp.
+- ``objectstore`` (``.objtrace[.gz]``) — object/CDN request streams
+  (``timestamp,op,key,size`` lines, IBM-object-store style); reads as
+  :class:`repro.traces.objects.ObjectTrace` chunks for the
+  software-cache model in :mod:`repro.swcache`.
 
 Every reader yields :class:`repro.traces.trace.Trace` chunks through a
 :class:`repro.traces.stream.TraceStream`, so multi-hundred-million-access
@@ -28,7 +32,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.traces.formats import champsim, csvfmt, native
+from repro.traces.formats import champsim, csvfmt, native, objectstore
 from repro.traces.formats.errors import TraceFormatError
 from repro.traces.stream import DEFAULT_CHUNK_SIZE, TraceStream
 from repro.traces.trace import Trace
@@ -38,6 +42,7 @@ FORMATS = {
     native.FORMAT_NAME: native,
     champsim.FORMAT_NAME: champsim,
     csvfmt.FORMAT_NAME: csvfmt,
+    objectstore.FORMAT_NAME: objectstore,
 }
 
 #: Legacy numpy-archive pseudo-format (readable, not a chunked writer).
@@ -57,28 +62,37 @@ _SUFFIX_MAP: list[tuple[str, str]] = sorted(
 
 
 def format_names() -> list[str]:
-    """Names accepted by the ``format=`` arguments, sorted."""
-    return sorted(FORMATS) + [NPZ_FORMAT]
+    """Names accepted by the ``format=`` arguments, fully sorted (the
+    legacy ``npz`` pseudo-format sorts in with the rest — error
+    messages and ``--help`` listings stay alphabetical)."""
+    return sorted([*FORMATS, NPZ_FORMAT])
 
 
 def _sniff_format(path: Path) -> str | None:
     """Guess a format from file content when the suffix is unknown."""
     import gzip
 
+    probe = max(len(native.MAGIC), len(objectstore.MAGIC))
     try:
         with open(path, "rb") as fh:
-            head = fh.read(4)
+            head = fh.read(probe)
     except OSError:
         return None
     if head.startswith(b"\x1f\x8b"):
         try:
             with gzip.open(path, "rb") as fh:
-                inner = fh.read(len(native.MAGIC))
+                inner = fh.read(probe)
         except (OSError, EOFError):
             return None
-        return native.FORMAT_NAME if native.matches_magic(inner) else None
+        if native.matches_magic(inner):
+            return native.FORMAT_NAME
+        if objectstore.matches_magic(inner):
+            return objectstore.FORMAT_NAME
+        return None
     if head.startswith(b"PK"):
         return NPZ_FORMAT
+    if objectstore.matches_magic(head):
+        return objectstore.FORMAT_NAME
     return None
 
 

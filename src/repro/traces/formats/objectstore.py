@@ -1,0 +1,273 @@
+"""Object-store trace format (``.objtrace[.gz]``).
+
+A text format for object/CDN request streams, in the style of the IBM
+object-store traces: one request per line, four comma-separated columns
+
+.. code-block:: text
+
+    #objectstore v1
+    # name=cluster17 instructions_per_access=1
+    # timestamp,op,key,size
+    1219008,GET,8d4fcda3d675bac9,1056326
+    1219012,PUT,0x1a2b,4096
+    1219020,DELETE,4711,0
+
+- ``timestamp`` — integer request time (milliseconds by convention);
+- ``op`` — ``GET`` / ``PUT`` / ``DELETE`` / ``HEAD`` (case-insensitive,
+  or the numeric codes of :mod:`repro.traces.objects`);
+- ``key`` — the object identifier: decimal, ``0x``-hex, or any other
+  token (hashed to a stable 63-bit integer key);
+- ``size`` — object size in bytes.
+
+The leading ``#objectstore`` line is the content magic
+(:func:`matches_magic`), so files without the ``.objtrace`` suffix are
+still identified by ``open_trace``/``trace_info``. Reading yields
+:class:`repro.traces.objects.ObjectTrace` chunks, so the stream flows
+through the standard :class:`repro.traces.stream.TraceStream` machinery
+in O(chunk) memory; writing accepts plain :class:`Trace` chunks too
+(coerced via :meth:`ObjectTrace.from_trace`), which makes
+``repro trace convert`` work in both directions. Malformed lines raise
+:class:`TraceFormatError` with the offending line number — never a
+silent partial read. Files ending in ``.gz`` are transparently
+(de)compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import hashlib
+import io
+import re
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.traces.formats.errors import TraceFormatError
+from repro.traces.objects import OP_CODES, OP_NAMES, ObjectTrace
+from repro.traces.trace import Trace
+
+FORMAT_NAME = "objectstore"
+SUFFIXES = (".objtrace", ".objtrace.gz")
+
+#: Content magic: the first line of every objectstore file.
+MAGIC = b"#objectstore"
+
+#: The metadata comment ``write_chunks`` emits (same shape as the csv
+#: format's, so the save -> load -> save loop preserves name and
+#: dilution).
+_META_RE = re.compile(
+    r"^#\s*name=(?P<name>.*) instructions_per_access=(?P<ipa>\S+)\s*$"
+)
+
+
+def matches_magic(head: bytes) -> bool:
+    """Whether ``head`` starts with the objectstore content magic."""
+    return head.startswith(MAGIC)
+
+
+def _open_text(path: Path):
+    """Open ``path`` as text, transparently gunzipping."""
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == b"\x1f\x8b":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, encoding="utf-8")
+
+
+def read_metadata(path: str | Path) -> dict:
+    """Stream metadata from the leading comment lines, when present.
+
+    Returns a (possibly empty) subset of ``{"name",
+    "instructions_per_access"}``; files written by other tools fall back
+    to filename defaults, exactly like the csv format.
+    """
+    path = Path(path)
+    meta: dict = {}
+    try:
+        with _open_text(path) as fh:
+            for line in fh:
+                row = line.strip()
+                if not row:
+                    continue
+                if not row.startswith("#"):
+                    break
+                match = _META_RE.match(row)
+                if match:
+                    meta["name"] = match.group("name")
+                    try:
+                        meta["instructions_per_access"] = float(match.group("ipa"))
+                    except ValueError:
+                        pass
+                    break
+    except (OSError, EOFError, UnicodeDecodeError):
+        return {}
+    return meta
+
+
+def parse_key(field: str) -> int:
+    """An object-key field as a stable non-negative int64.
+
+    Decimal and ``0x``-hex tokens parse directly; any other token (an
+    opaque object id, e.g. the hex-ish hashes of the IBM traces that
+    overflow int64) is hashed with blake2b to a stable 63-bit key, so
+    the same id always maps to the same key.
+    """
+    field = field.strip()
+    try:
+        value = int(field, 0)
+    except ValueError:
+        digest = hashlib.blake2b(field.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big") >> 1
+    if 0 <= value < (1 << 63):
+        return value
+    digest = hashlib.blake2b(field.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") >> 1
+
+
+def _parse_op(field: str, path: Path, line_number: int) -> int:
+    """An op field (name or numeric code) as an op code."""
+    token = field.strip().upper()
+    if token in OP_CODES:
+        return OP_CODES[token]
+    try:
+        code = int(token, 0)
+    except ValueError:
+        code = -1
+    if code in OP_NAMES:
+        return code
+    raise TraceFormatError(
+        f"{path}:{line_number}: unknown op {field.strip()!r} "
+        f"(known: {', '.join(sorted(OP_CODES))})"
+    )
+
+
+def _parse_int(field: str, path: Path, line_number: int, column: str) -> int:
+    """A decimal/hex integer field, with a located error on failure."""
+    try:
+        return int(field.strip(), 0)
+    except ValueError:
+        raise TraceFormatError(
+            f"{path}:{line_number}: {column} is not an integer: {field!r}"
+        ) from None
+
+
+def read_chunks(
+    path: str | Path, chunk_size: int = 1_000_000
+) -> Iterator[ObjectTrace]:
+    """Yield ``chunk_size``-request :class:`ObjectTrace` chunks.
+
+    Validates the leading magic line; rejects rows with missing/extra
+    columns, negative sizes, or unknown ops with the offending line
+    number.
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    path = Path(path)
+    name = path.name.split(".")[0] or "objectstore"
+    timestamps: list[int] = []
+    ops: list[int] = []
+    keys: list[int] = []
+    sizes: list[int] = []
+
+    def flush() -> ObjectTrace:
+        chunk = ObjectTrace(
+            keys, sizes, ops=ops, timestamps=timestamps, name=name
+        )
+        timestamps.clear()
+        ops.clear()
+        keys.clear()
+        sizes.clear()
+        return chunk
+
+    try:
+        with _open_text(path) as fh:
+            first = fh.readline()
+            if not first.startswith(MAGIC.decode("ascii")):
+                raise TraceFormatError(
+                    f"{path}: not an objectstore trace (missing "
+                    f"'{MAGIC.decode('ascii')}' header line)"
+                )
+            for line_number, line in enumerate(fh, start=2):
+                row = line.strip()
+                if not row or row.startswith("#"):
+                    continue
+                fields = row.split(",")
+                if len(fields) != 4:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: expected 4 columns "
+                        f"(timestamp,op,key,size), got {len(fields)}"
+                    )
+                timestamps.append(
+                    _parse_int(fields[0], path, line_number, "timestamp")
+                )
+                ops.append(_parse_op(fields[1], path, line_number))
+                keys.append(parse_key(fields[2]))
+                size = _parse_int(fields[3], path, line_number, "size")
+                if size < 0:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: negative object size {size}"
+                    )
+                sizes.append(size)
+                if len(keys) >= chunk_size:
+                    yield flush()
+        if keys:
+            yield flush()
+    except (OSError, EOFError, UnicodeDecodeError) as exc:
+        raise TraceFormatError(
+            f"{path}: unreadable objectstore trace: {exc}"
+        ) from exc
+
+
+def write_chunks(
+    path: str | Path,
+    chunks: Iterable[Trace],
+    name: str = "",
+    instructions_per_access: float = 1.0,
+) -> int:
+    """Write chunks as objectstore lines; returns the request count.
+
+    Plain :class:`Trace` chunks are coerced via
+    :meth:`ObjectTrace.from_trace` (line-sized ``GET`` requests with
+    position timestamps continuing across chunks), so any existing
+    trace converts into a software-cache workload. Compresses when the
+    path ends in ``.gz``.
+    """
+    path = Path(path)
+    total = 0
+    if path.suffix == ".gz":
+        fh = io.TextIOWrapper(gzip.open(path, "wb"), encoding="utf-8")
+    else:
+        fh = open(path, "w", encoding="utf-8")
+    with fh:
+        fh.write(f"{MAGIC.decode('ascii')} v1\n")
+        if name:
+            fh.write(
+                f"# name={name} instructions_per_access="
+                f"{float(instructions_per_access):g}\n"
+            )
+        fh.write("# timestamp,op,key,size\n")
+        for chunk in chunks:
+            obj = ObjectTrace.from_trace(chunk, position_offset=total)
+            columns = zip(
+                obj.timestamps.tolist(),
+                obj.ops.tolist(),
+                obj.keys.tolist(),
+                obj.sizes.tolist(),
+            )
+            for ts, op, key, size in columns:
+                fh.write(f"{ts},{OP_NAMES.get(op, 'GET')},{key},{size}\n")
+            total += len(obj)
+    return total
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "MAGIC",
+    "SUFFIXES",
+    "matches_magic",
+    "parse_key",
+    "read_chunks",
+    "read_metadata",
+    "write_chunks",
+]

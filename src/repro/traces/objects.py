@@ -1,0 +1,195 @@
+"""Object-store traces: variable-size, TTL-aware request streams.
+
+An :class:`ObjectTrace` is a :class:`repro.traces.trace.Trace` whose
+"addresses" are object keys, extended with three more int64 columns:
+
+- ``sizes`` — object size in bytes (what a byte-budget cache charges);
+- ``ops`` — request operation (:data:`OP_GET` / :data:`OP_PUT` /
+  :data:`OP_DELETE` / :data:`OP_HEAD`);
+- ``timestamps`` — request time in trace time units (milliseconds in
+  the shipped ``objectstore`` format), the clock TTL expiry runs on.
+
+Because it *is* a ``Trace``, every piece of streaming machinery —
+:class:`repro.traces.stream.TraceStream`, ``open_trace`` chunking,
+window-boundary slicing, manifest fingerprinting — carries the extra
+columns along for free: :meth:`ObjectTrace.slice` and
+:meth:`ObjectTrace.concat` preserve them, and
+:meth:`extra_column_items` feeds them into the chunk-size-invariant
+:class:`repro.obs.manifest.FingerprintAccumulator` so two object traces
+fingerprint equal iff a software-cache simulation cannot tell them
+apart (same keys *and* sizes *and* ops *and* timestamps).
+
+The CPU-side simulators keep working on an ``ObjectTrace`` too (keys
+simulate as block addresses); the software-cache model in
+:mod:`repro.swcache` is the consumer that reads the extra columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.traces.trace import Trace, _as_int64_column
+
+#: Request operations carried in the ``ops`` column.
+OP_GET = 0
+OP_PUT = 1
+OP_DELETE = 2
+OP_HEAD = 3
+
+#: Operation name -> code (the on-disk text form of the ``objectstore``
+#: format; parsing is case-insensitive).
+OP_CODES = {"GET": OP_GET, "PUT": OP_PUT, "DELETE": OP_DELETE, "HEAD": OP_HEAD}
+
+#: Operation code -> canonical name.
+OP_NAMES = {code: name for name, code in OP_CODES.items()}
+
+#: Object size charged when coercing a plain CPU trace to an object
+#: trace (one cache line per "object").
+DEFAULT_OBJECT_SIZE = 64
+
+
+class ObjectTrace(Trace):
+    """A :class:`Trace` of object-store requests.
+
+    ``addresses`` holds the (integer) object keys; ``sizes``, ``ops``
+    and ``timestamps`` are parallel int64 columns. ``pcs`` and
+    ``thread_ids`` stay zero — object streams have neither — so an
+    object trace degrades gracefully wherever a plain trace is
+    expected.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        sizes: Iterable[int],
+        ops: Iterable[int] | None = None,
+        timestamps: Iterable[int] | None = None,
+        name: str = "objects",
+        instructions_per_access: float = 1.0,
+    ) -> None:
+        super().__init__(
+            keys, name=name, instructions_per_access=instructions_per_access
+        )
+        n = len(self.addresses)
+        self.sizes = _as_int64_column(sizes)
+        if ops is None:
+            self.ops = np.zeros(n, dtype=np.int64)
+        else:
+            self.ops = _as_int64_column(ops)
+        if timestamps is None:
+            self.timestamps = np.arange(n, dtype=np.int64)
+        else:
+            self.timestamps = _as_int64_column(timestamps)
+        if (
+            len(self.sizes) != n
+            or len(self.ops) != n
+            or len(self.timestamps) != n
+        ):
+            raise ValueError(
+                "keys, sizes, ops and timestamps must have equal length"
+            )
+        if n and int(self.sizes.min()) < 0:
+            raise ValueError("object sizes must be non-negative")
+
+    @property
+    def keys(self) -> np.ndarray:
+        """The object-key column (an alias of ``addresses``)."""
+        return self.addresses
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of the request sizes (the stream's byte volume)."""
+        return int(self.sizes.sum())
+
+    def extra_column_items(self):
+        """The extra columns, as stable ``(name, array)`` pairs.
+
+        The seam :class:`repro.obs.manifest.FingerprintAccumulator`
+        uses to fold non-core columns into a trace fingerprint without
+        disturbing the digests of plain traces.
+        """
+        return (
+            ("ops", self.ops),
+            ("sizes", self.sizes),
+            ("timestamps", self.timestamps),
+        )
+
+    def slice(self, start: int, stop: int) -> "ObjectTrace":
+        """Sub-trace covering requests ``[start, stop)``; preserves the
+        object columns (window-boundary slicing must not drop sizes)."""
+        sub = ObjectTrace.__new__(ObjectTrace)
+        sub.addresses = self.addresses[start:stop]
+        sub.pcs = self.pcs[start:stop]
+        sub.thread_ids = self.thread_ids[start:stop]
+        sub.sizes = self.sizes[start:stop]
+        sub.ops = self.ops[start:stop]
+        sub.timestamps = self.timestamps[start:stop]
+        sub.name = f"{self.name}[{start}:{stop}]"
+        sub.instructions_per_access = self.instructions_per_access
+        return sub
+
+    def concat(self, other: Trace, name: str | None = None) -> "ObjectTrace":
+        """Concatenation preserving the object columns (``other`` is
+        coerced via :meth:`from_trace` when it is a plain trace)."""
+        tail = other if isinstance(other, ObjectTrace) else ObjectTrace.from_trace(other)
+        joined = ObjectTrace.__new__(ObjectTrace)
+        joined.addresses = np.concatenate([self.addresses, tail.addresses])
+        joined.pcs = np.concatenate([self.pcs, tail.pcs])
+        joined.thread_ids = np.concatenate([self.thread_ids, tail.thread_ids])
+        joined.sizes = np.concatenate([self.sizes, tail.sizes])
+        joined.ops = np.concatenate([self.ops, tail.ops])
+        joined.timestamps = np.concatenate([self.timestamps, tail.timestamps])
+        joined.name = name or f"{self.name}+{other.name}"
+        joined.instructions_per_access = self.instructions_per_access
+        return joined
+
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        default_size: int = DEFAULT_OBJECT_SIZE,
+        position_offset: int = 0,
+    ) -> "ObjectTrace":
+        """Coerce a plain trace to an object trace.
+
+        Each address becomes a key of ``default_size`` bytes requested
+        with ``GET`` at timestamp ``position_offset + i`` — the bridge
+        that lets ``repro trace convert`` turn any existing trace into
+        the ``objectstore`` format. An :class:`ObjectTrace` input passes
+        through unchanged.
+        """
+        if isinstance(trace, ObjectTrace):
+            return trace
+        n = len(trace)
+        converted = cls.__new__(cls)
+        converted.addresses = trace.addresses
+        converted.pcs = trace.pcs
+        converted.thread_ids = trace.thread_ids
+        converted.sizes = np.full(n, int(default_size), dtype=np.int64)
+        converted.ops = np.zeros(n, dtype=np.int64)
+        converted.timestamps = np.arange(
+            position_offset, position_offset + n, dtype=np.int64
+        )
+        converted.name = trace.name
+        converted.instructions_per_access = trace.instructions_per_access
+        return converted
+
+    def __repr__(self) -> str:
+        return (
+            f"ObjectTrace(name={self.name!r}, requests={len(self)}, "
+            f"bytes={self.total_bytes})"
+        )
+
+
+__all__ = [
+    "DEFAULT_OBJECT_SIZE",
+    "OP_CODES",
+    "OP_DELETE",
+    "OP_GET",
+    "OP_HEAD",
+    "OP_NAMES",
+    "OP_PUT",
+    "ObjectTrace",
+]

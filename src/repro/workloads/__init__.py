@@ -13,6 +13,7 @@ from repro.workloads.cache import (
     trace_cache_dir,
     trace_cache_key,
 )
+from repro.workloads.objectstore import make_object_stream
 from repro.workloads.phased import PhasedWorkload, phase_changing_profiles
 from repro.workloads.spec_like import (
     SPEC_LIKE_PROFILES,
@@ -43,6 +44,7 @@ __all__ = [
     "generate_mixes",
     "interleave_traces",
     "make_benchmark_trace",
+    "make_object_stream",
     "phase_changing_profiles",
     "random_working_set",
     "sequential_stream",

@@ -1,0 +1,146 @@
+"""Synthetic object-store request streams (Zipf popularity, lognormal
+sizes).
+
+:func:`make_object_stream` generates a CDN-shaped workload as a
+re-iterable :class:`repro.traces.stream.TraceStream` of
+:class:`repro.traces.objects.ObjectTrace` chunks:
+
+- object popularity follows a Zipf law over a fixed catalog (rank
+  ``r`` drawn with probability proportional to ``1 / r**alpha``) —
+  the canonical web/CDN request model;
+- each object has a *stable* lognormal size (drawn once per object,
+  clipped to ``[min_size, max_size]``), so repeat requests agree on
+  the byte charge;
+- the op mix is mostly ``GET`` with configurable ``PUT``/``DELETE``
+  tails, and timestamps advance by an exponential inter-arrival in
+  milliseconds.
+
+Memory is O(catalog) for the one-time size/popularity tables plus
+O(chunk) per yielded chunk, and the stream's chunk factory recreates
+its RNG from the seed on every iteration — the same stream object can
+drive a whole policy sweep and every policy sees an identical request
+sequence.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.objects import OP_DELETE, OP_GET, OP_PUT, ObjectTrace
+from repro.traces.stream import DEFAULT_CHUNK_SIZE, TraceStream
+
+
+def _zipf_cdf(num_objects: int, alpha: float) -> np.ndarray:
+    """Cumulative Zipf(``alpha``) popularity over ranks 1..n (for
+    inverse-CDF sampling via ``searchsorted``)."""
+    weights = 1.0 / np.arange(1, num_objects + 1, dtype=np.float64) ** alpha
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+def _size_table(
+    rng: np.random.Generator,
+    num_objects: int,
+    mean_size: float,
+    sigma: float,
+    min_size: int,
+    max_size: int,
+) -> np.ndarray:
+    """Per-object stable sizes: lognormal with the requested mean,
+    clipped to ``[min_size, max_size]``, as int64 bytes."""
+    mu = np.log(mean_size) - sigma * sigma / 2.0
+    sizes = rng.lognormal(mean=mu, sigma=sigma, size=num_objects)
+    return np.clip(sizes, min_size, max_size).astype(np.int64)
+
+
+def make_object_stream(
+    accesses: int,
+    num_objects: int = 100_000,
+    alpha: float = 0.9,
+    mean_size: float = 64 * 1024,
+    size_sigma: float = 1.5,
+    min_size: int = 128,
+    max_size: int = 16 * 1024 * 1024,
+    put_fraction: float = 0.04,
+    delete_fraction: float = 0.01,
+    mean_interarrival_ms: float = 2.0,
+    seed: int = 0,
+    name: str = "objectstore",
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> TraceStream:
+    """A re-iterable synthetic object-store request stream.
+
+    Args:
+        accesses: total requests in the stream.
+        num_objects: catalog size (distinct keys).
+        alpha: Zipf popularity exponent (higher = more skew).
+        mean_size: mean object size in bytes (lognormal).
+        size_sigma: lognormal shape; ~1.5 gives the heavy size tail of
+            real object stores.
+        min_size / max_size: size clip bounds in bytes.
+        put_fraction / delete_fraction: op-mix tails (the remainder of
+            each unit is GETs).
+        mean_interarrival_ms: mean exponential gap between requests;
+            timestamps are cumulative integer milliseconds (the TTL
+            clock).
+        seed: RNG seed — the stream is fully deterministic in it.
+        name: stream/workload name recorded in manifests.
+        chunk_size: requests per yielded :class:`ObjectTrace` chunk.
+
+    Returns:
+        A :class:`TraceStream` with known length; every iteration
+        replays the identical request sequence in O(chunk) memory.
+    """
+    if accesses <= 0:
+        raise ValueError(f"accesses must be positive, got {accesses}")
+    if num_objects <= 0:
+        raise ValueError(f"num_objects must be positive, got {num_objects}")
+    if not 0.0 <= put_fraction + delete_fraction <= 1.0:
+        raise ValueError("put_fraction + delete_fraction must be within [0, 1]")
+    table_rng = np.random.default_rng(seed)
+    sizes = _size_table(
+        table_rng, num_objects, mean_size, size_sigma, min_size, max_size
+    )
+    cdf = _zipf_cdf(num_objects, alpha)
+    get_threshold = 1.0 - put_fraction - delete_fraction
+    put_threshold = 1.0 - delete_fraction
+
+    def chunk_factory():
+        """Replay the request sequence as ObjectTrace chunks (fresh RNG
+        per iteration, so the stream is re-iterable)."""
+        rng = np.random.default_rng(seed + 1)
+        clock = 0
+        produced = 0
+        while produced < accesses:
+            n = min(chunk_size, accesses - produced)
+            ranks = np.searchsorted(cdf, rng.random(n), side="left")
+            draw = rng.random(n)
+            ops = np.where(
+                draw < get_threshold,
+                OP_GET,
+                np.where(draw < put_threshold, OP_PUT, OP_DELETE),
+            ).astype(np.int64)
+            gaps = rng.exponential(mean_interarrival_ms, n)
+            timestamps = clock + np.ceil(np.cumsum(gaps)).astype(np.int64)
+            clock = int(timestamps[-1])
+            yield ObjectTrace(
+                ranks.astype(np.int64),
+                sizes[ranks],
+                ops=ops,
+                timestamps=timestamps,
+                name=name,
+            )
+            produced += n
+
+    return TraceStream(
+        chunk_factory,
+        name=name,
+        instructions_per_access=1.0,
+        length=accesses,
+        source=None,
+        format="generated",
+    )
+
+
+__all__ = ["make_object_stream"]

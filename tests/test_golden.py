@@ -23,6 +23,7 @@ import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "single_core.json"
+OBJECTSTORE_GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "objectstore.json"
 REGEN_PATH = REPO_ROOT / "tools" / "regen_golden.py"
 
 
@@ -90,6 +91,58 @@ def test_golden_fixture_covers_every_pinned_cell(golden):
     }
     assert set(golden["cells"]) == expected_cells
     assert set(golden["trace_fingerprints"]) == set(workloads)
+
+
+@pytest.fixture(scope="module")
+def objectstore_golden() -> dict:
+    assert OBJECTSTORE_GOLDEN_PATH.exists(), (
+        f"missing golden fixture {OBJECTSTORE_GOLDEN_PATH}; run "
+        "`PYTHONPATH=src python tools/regen_golden.py`"
+    )
+    return json.loads(OBJECTSTORE_GOLDEN_PATH.read_text())
+
+
+def test_objectstore_golden_has_not_drifted(objectstore_golden):
+    """The seeded software-cache grid (workload generator, object-cache
+    model, all four policy families, TTL expiry, byte counters) must
+    reproduce the pinned fixture exactly."""
+    regen = _load_regen_module()
+    recomputed = regen.compute_objectstore_golden()
+    drift: list[str] = []
+    if recomputed["trace_fingerprint"] != objectstore_golden["trace_fingerprint"]:
+        drift.append(
+            "  stream fingerprint "
+            f"{objectstore_golden['trace_fingerprint']} -> "
+            f"{recomputed['trace_fingerprint']}"
+        )
+    for cell in sorted(
+        set(objectstore_golden["cells"]) | set(recomputed["cells"])
+    ):
+        want = objectstore_golden["cells"].get(cell)
+        have = recomputed["cells"].get(cell)
+        if want is None or have is None:
+            drift.append(f"  cell {cell}: fixture/recompute mismatch")
+            continue
+        for field in sorted(set(want) | set(have)):
+            if want.get(field) != have.get(field):
+                drift.append(
+                    f"  cell {cell}: {field} {want.get(field)} -> {have.get(field)}"
+                )
+    assert not drift, (
+        "objectstore golden results drifted (fixture -> recomputed):\n"
+        + "\n".join(drift)
+        + "\n\nIf this change is intended, regenerate with "
+        "`PYTHONPATH=src python tools/regen_golden.py` and commit the fixture."
+    )
+
+
+def test_objectstore_golden_covers_every_pinned_policy(objectstore_golden):
+    regen = _load_regen_module()
+    assert set(objectstore_golden["cells"]) == set(regen.SWCACHE_POLICIES)
+    # The fixture must exercise both removal paths somewhere in the grid.
+    cells = objectstore_golden["cells"].values()
+    assert any(cell["expirations"] for cell in cells)
+    assert any(cell["bypasses"] for cell in cells)
 
 
 def test_windowed_sums_match_golden_aggregates(golden):

@@ -1,0 +1,329 @@
+"""Software object cache: model invariants, TTL, admission, policies.
+
+Pins the accounting contract of :mod:`repro.swcache.model` (accesses =
+hits + misses, misses = fills + bypasses, byte-budget bound, read-byte
+decomposition), TTL expiry semantics — including an expiry landing
+exactly on a recorder window boundary — admission-rejection accounting
+reconciled against :class:`repro.obs.timeseries.WindowedRecorder` sums,
+and the behavioral signatures of the four policy families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.timeseries import WindowedRecorder
+from repro.swcache.driver import run_object_cache
+from repro.swcache.model import ObjectCache
+from repro.swcache.policies import (
+    GDSFPolicy,
+    PDPProtectionPolicy,
+    SOFTWARE_POLICIES,
+    SizeAwareLRUPolicy,
+    TinyLFUAdmissionPolicy,
+    make_software_policy,
+)
+from repro.traces.objects import (
+    OP_DELETE,
+    OP_GET,
+    OP_PUT,
+    ObjectTrace,
+)
+
+
+def _drive(cache: ObjectCache, requests) -> None:
+    """Feed (key, size[, op[, now]]) tuples into the cache."""
+    for request in requests:
+        cache.access(*request)
+
+
+# -- model invariants ------------------------------------------------------
+
+
+@pytest.mark.parametrize("policy_name", sorted(SOFTWARE_POLICIES))
+def test_accounting_invariants_hold_for_every_policy(policy_name):
+    kwargs = (
+        {"max_pd": 256, "bins": 32, "recompute_interval": 128}
+        if policy_name == "pdp"
+        else {}
+    )
+    cache = ObjectCache(
+        4096, make_software_policy(policy_name, **kwargs), ttl=500.0
+    )
+    rng = np.random.default_rng(7)
+    for i in range(4000):
+        op = (OP_GET, OP_PUT, OP_DELETE)[int(rng.integers(0, 10)) % 3 if rng.random() < 0.2 else 0]
+        cache.access(
+            int(rng.integers(0, 120)),
+            int(rng.integers(1, 400)),
+            op,
+            float(i),
+        )
+    stats = cache.stats
+    assert stats.accesses == 4000
+    assert stats.accesses == stats.hits + stats.misses
+    assert stats.misses == stats.fills + stats.bypasses
+    assert stats.bytes_requested == stats.bytes_hit + stats.bytes_missed
+    assert cache.bytes_used <= cache.capacity_bytes
+    assert cache.bytes_used == sum(entry.size for entry in cache.entries())
+    assert len(cache) == cache.object_count
+
+
+def test_byte_budget_never_exceeded_and_lru_order():
+    cache = ObjectCache(100, SizeAwareLRUPolicy())
+    cache.access(1, 40)
+    cache.access(2, 40)
+    cache.access(1, 40)  # 1 becomes MRU
+    cache.access(3, 40)  # must evict LRU victim 2
+    assert 1 in cache and 3 in cache and 2 not in cache
+    assert cache.stats.evictions == 1
+    assert cache.bytes_used == 80
+
+
+def test_oversized_object_bypasses_without_evicting():
+    cache = ObjectCache(100, SizeAwareLRUPolicy())
+    cache.access(1, 60)
+    hit = cache.access(2, 500)
+    assert not hit
+    assert cache.stats.bypasses == 1
+    assert cache.stats.evictions == 0
+    assert 1 in cache and 2 not in cache
+
+
+def test_put_updates_size_and_delete_invalidates():
+    cache = ObjectCache(1000, SizeAwareLRUPolicy())
+    cache.access(1, 100, OP_PUT)
+    assert cache.stats.writes == 1 and cache.stats.fills == 1
+    cache.access(1, 300, OP_PUT)  # resident overwrite: hit + resize
+    assert cache.stats.hits == 1
+    assert cache.bytes_used == 300
+    cache.access(1, 0, OP_DELETE)
+    assert cache.stats.invalidations == 1
+    assert 1 not in cache and cache.bytes_used == 0
+    # DELETE counts as a miss and a bypass, never a fill.
+    assert cache.stats.accesses == cache.stats.hits + cache.stats.misses
+    assert cache.stats.misses == cache.stats.fills + cache.stats.bypasses
+    assert cache.stats.bypasses == 1
+
+
+def test_put_growth_beyond_budget_invalidates_instead_of_overflowing():
+    cache = ObjectCache(100, SizeAwareLRUPolicy())
+    cache.access(1, 80, OP_PUT)
+    cache.access(1, 150, OP_PUT)  # grows past the whole budget
+    assert 1 not in cache
+    assert cache.bytes_used == 0
+    assert cache.stats.invalidations == 1
+
+
+# -- TTL expiry ------------------------------------------------------------
+
+
+def test_ttl_expiry_is_lazy_and_counts_as_expiration():
+    cache = ObjectCache(1000, SizeAwareLRUPolicy(), ttl=10.0)
+    cache.access(1, 100, OP_GET, now=0.0)
+    assert cache.access(1, 100, OP_GET, now=9.0)  # still fresh
+    assert not cache.access(1, 100, OP_GET, now=10.0)  # expires AT deadline
+    assert cache.stats.expirations == 1
+    assert cache.stats.evictions == 0
+    # The expired request re-fills: the object is resident again.
+    assert 1 in cache and cache.stats.fills == 2
+
+
+def test_put_refreshes_ttl_but_get_does_not():
+    cache = ObjectCache(1000, SizeAwareLRUPolicy(), ttl=10.0)
+    cache.access(1, 100, OP_PUT, now=0.0)
+    cache.access(1, 100, OP_GET, now=8.0)  # read hit: no refresh
+    assert not cache.access(1, 100, OP_GET, now=12.0)
+    assert cache.stats.expirations == 1
+    cache.access(2, 100, OP_PUT, now=20.0)
+    cache.access(2, 100, OP_PUT, now=28.0)  # write hit: deadline -> 38
+    assert cache.access(2, 100, OP_GET, now=32.0)
+    assert cache.stats.expirations == 1
+
+
+def test_ttl_expiry_on_exact_window_boundary():
+    """An object expiring on the access that closes a recorder window
+    must be attributed to the window being closed — windowed sums still
+    reconcile with the aggregate counters, and the expiration is never
+    double-counted or shifted into the next window."""
+    window = 4
+    keys = [1, 2, 3, 1, 9, 9, 9, 1]  # access index 3 re-reads key 1
+    sizes = [10] * len(keys)
+    # Timestamps: key 1 inserted at t=0, re-read at t=100 (expired, TTL
+    # 50) — and that access is the 4th, exactly closing window 0.
+    timestamps = [0, 1, 2, 100, 101, 102, 103, 104]
+    trace = ObjectTrace(keys, sizes, timestamps=timestamps)
+    recorder = WindowedRecorder(window_size=window)
+    result = run_object_cache(
+        trace,
+        SizeAwareLRUPolicy(),
+        capacity_bytes=10_000,
+        ttl=50.0,
+        timeseries=recorder,
+    )
+    stats = result.stats
+    assert stats.expirations == 1
+    windows = recorder.windows
+    assert [w.accesses for w in windows] == [4, 4]
+    # The boundary access (index 3) was a miss in window 0: the expired
+    # entry was dropped and re-filled there, not in window 1.
+    assert windows[0].misses == 4 and windows[0].fills == 4
+    assert windows[1].hits == 3  # 9,9 re-reads + final key-1 re-read
+    totals = recorder.totals()
+    assert totals["accesses"] == stats.accesses
+    assert totals["hits"] == stats.hits
+    assert totals["misses"] == stats.misses
+    assert totals["fills"] == stats.fills
+
+
+# -- admission + recorder reconciliation -----------------------------------
+
+
+def test_admission_rejections_reconcile_with_windowed_sums():
+    """Bypasses (admission rejections) recorded per window must sum to
+    the aggregate bypass counter, and remain a subset of misses in every
+    single window."""
+    rng = np.random.default_rng(21)
+    n = 6000
+    keys = rng.integers(0, 300, n)
+    sizes = rng.integers(50, 500, n)
+    trace = ObjectTrace(keys, sizes)
+    recorder = WindowedRecorder(window_size=512)
+    result = run_object_cache(
+        trace,
+        TinyLFUAdmissionPolicy(sketch_width=1 << 10),
+        capacity_bytes=20_000,
+        timeseries=recorder,
+    )
+    stats = result.stats
+    assert stats.bypasses > 0  # the filter must actually reject here
+    totals = recorder.totals()
+    for field in ("accesses", "hits", "misses", "bypasses", "evictions", "fills"):
+        assert totals[field] == getattr(stats, field), field
+    assert totals["bytes_requested"] == stats.bytes_requested
+    assert totals["bytes_hit"] == stats.bytes_hit
+    for window in recorder.windows:
+        assert window.bypasses <= window.misses
+        assert window.misses == window.fills + window.bypasses
+        assert window.accesses == window.hits + window.misses
+
+
+def test_windows_carry_byte_axis_only_for_byte_capable_caches():
+    trace = ObjectTrace([1, 2, 1, 2], [10, 10, 10, 10])
+    recorder = WindowedRecorder(window_size=2)
+    run_object_cache(trace, SizeAwareLRUPolicy(), 1000, timeseries=recorder)
+    for window in recorder.windows:
+        assert window.bytes_requested is not None
+        assert window.bytes_hit is not None
+    payload = recorder.to_dict()
+    assert all("bytes_requested" in w for w in payload["windows"])
+
+
+# -- policy families -------------------------------------------------------
+
+
+def test_gdsf_prefers_evicting_large_cold_objects():
+    cache = ObjectCache(1000, GDSFPolicy())
+    cache.access(1, 500)  # large, cold
+    for _ in range(5):
+        cache.access(2, 100)  # small, hot
+    cache.access(3, 600)  # forces eviction
+    assert 2 in cache  # the hot small object survives
+    assert 1 not in cache
+
+
+def test_gdsf_refused_plan_restores_heap():
+    """A fill too large for the budget must leave the GDSF heap intact:
+    popped-but-unremoved candidates are re-pushed on iterator close and
+    remain evictable later."""
+    cache = ObjectCache(100, GDSFPolicy())
+    cache.access(1, 40)
+    cache.access(2, 40)
+    cache.access(3, 500)  # impossible fill: plan refused, no evictions
+    assert cache.stats.bypasses == 1 and cache.stats.evictions == 0
+    cache.access(4, 90)  # now both 1 and 2 must be evictable
+    assert 4 in cache
+    assert cache.stats.evictions == 2
+    assert cache.bytes_used == 90
+
+
+def test_tinylfu_rejects_one_hit_wonders():
+    policy = TinyLFUAdmissionPolicy(sketch_width=1 << 10)
+    cache = ObjectCache(300, policy)
+    for _ in range(8):
+        cache.access(1, 100)
+        cache.access(2, 100)
+        cache.access(3, 100)
+    fills_before = cache.stats.fills
+    cache.access(999, 100)  # cold key vs. a hot victim: rejected
+    assert cache.stats.fills == fills_before
+    assert cache.stats.bypasses >= 1
+    assert 999 not in cache and 1 in cache
+
+
+def test_pdp_protects_objects_and_bypasses_when_all_protected():
+    policy = PDPProtectionPolicy(
+        max_pd=64, bins=8, recompute_interval=1 << 30, initial_pd=64
+    )
+    cache = ObjectCache(100, policy, ttl=None)
+    cache.access(1, 50)
+    cache.access(2, 50)
+    assert policy.protected_count() == 2
+    cache.access(3, 50)  # everything protected -> PDP bypasses
+    assert cache.stats.bypasses == 1 and cache.stats.evictions == 0
+    assert 3 not in cache and 1 in cache and 2 in cache
+
+
+def test_pdp_non_bypass_variant_evicts_protected_when_forced():
+    policy = PDPProtectionPolicy(
+        max_pd=64, bins=8, recompute_interval=1 << 30, initial_pd=64,
+        bypass=False,
+    )
+    cache = ObjectCache(100, policy)
+    cache.access(1, 50)
+    cache.access(2, 50)
+    cache.access(3, 50)  # forced: evicts the protected object expiring first
+    assert 3 in cache
+    assert cache.stats.evictions == 1 and cache.stats.bypasses == 0
+
+
+def test_pdp_recomputes_pd_from_sampled_reuse_distances():
+    policy = PDPProtectionPolicy(
+        max_pd=64, bins=16, recompute_interval=200, initial_pd=32
+    )
+    cache = ObjectCache(10_000, policy)
+    # Strict loop over 8 keys: every reuse distance is exactly 8.
+    for i in range(1000):
+        cache.access(i % 8, 10, OP_GET, float(i))
+    assert policy.pd_history  # recomputed at least once
+    # Bin width is 4 (64/16); an all-8 RDD must pick a small PD bin.
+    assert policy.current_pd <= 16
+    # Recorder integration: PD and protected counts land in windows.
+    recorder = WindowedRecorder(window_size=256)
+    trace = ObjectTrace(
+        np.arange(1000, dtype=np.int64) % 8, np.full(1000, 10, dtype=np.int64)
+    )
+    result = run_object_cache(
+        trace,
+        PDPProtectionPolicy(max_pd=64, bins=16, recompute_interval=200),
+        10_000,
+        timeseries=recorder,
+    )
+    assert all(w.pd is not None for w in recorder.windows)
+    assert all(w.protected_lines is not None for w in recorder.windows)
+    assert result.extra["final_pd"] == recorder.windows[-1].pd
+
+
+def test_policy_registry_rejects_unknown_names_sorted():
+    with pytest.raises(ValueError) as excinfo:
+        make_software_policy("nope")
+    message = str(excinfo.value)
+    assert "gdsf, pdp, size-lru, tinylfu" in message
+
+
+def test_policies_are_single_use():
+    policy = SizeAwareLRUPolicy()
+    ObjectCache(100, policy)
+    with pytest.raises(RuntimeError):
+        ObjectCache(100, policy)

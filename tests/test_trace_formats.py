@@ -263,7 +263,7 @@ def test_trace_info_reports_the_stream(tmp_path):
 
 
 def test_format_names_is_stable():
-    assert format_names() == ["champsim", "csv", "native", "npz"]
+    assert format_names() == ["champsim", "csv", "native", "npz", "objectstore"]
 
 
 def test_stream_is_reiterable(tmp_path):

@@ -25,6 +25,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
 GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "single_core.json"
+OBJECTSTORE_GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "objectstore.json"
 
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -81,11 +82,101 @@ def compute_golden() -> dict:
     }
 
 
+#: Software-cache policies pinned by the objectstore grid.
+SWCACHE_POLICIES = ("size-lru", "gdsf", "tinylfu", "pdp")
+
+#: Objectstore grid workload parameters (seeded, fully deterministic).
+OBJECTSTORE_ACCESSES = 20_000
+OBJECTSTORE_SEED = 99
+OBJECTSTORE_CAPACITY_BYTES = 8 * 1024 * 1024
+OBJECTSTORE_TTL_MS = 8_000.0
+
+
+def _object_stream():
+    """The pinned seeded object-request stream (re-iterable)."""
+    from repro.workloads.objectstore import make_object_stream
+
+    return make_object_stream(
+        OBJECTSTORE_ACCESSES,
+        num_objects=2_000,
+        seed=OBJECTSTORE_SEED,
+        chunk_size=4_096,
+    )
+
+
+def compute_objectstore_golden() -> dict:
+    """Run the software-cache grid and return the golden dict.
+
+    Pins the full counter set (byte counters and TTL expirations
+    included), PDP's final protecting distance, and the stream's
+    content fingerprint — drift in the generator, the cache model, or
+    any policy family fails the tripwire.
+    """
+    from repro.obs.manifest import FingerprintAccumulator
+    from repro.swcache.driver import run_object_cache
+    from repro.swcache.policies import make_software_policy
+
+    stream = _object_stream()
+    accumulator = FingerprintAccumulator()
+    for chunk in stream.chunks():
+        accumulator.update(chunk)
+    cells = {}
+    for policy_name in SWCACHE_POLICIES:
+        kwargs = (
+            {"max_pd": 8_192, "recompute_interval": 2_048}
+            if policy_name == "pdp"
+            else {}
+        )
+        result = run_object_cache(
+            stream,
+            make_software_policy(policy_name, **kwargs),
+            OBJECTSTORE_CAPACITY_BYTES,
+            ttl=OBJECTSTORE_TTL_MS,
+        )
+        stats = result.stats
+        cells[policy_name] = {
+            "accesses": stats.accesses,
+            "hits": stats.hits,
+            "misses": stats.misses,
+            "bypasses": stats.bypasses,
+            "evictions": stats.evictions,
+            "fills": stats.fills,
+            "expirations": stats.expirations,
+            "invalidations": stats.invalidations,
+            "writes": stats.writes,
+            "bytes_requested": stats.bytes_requested,
+            "bytes_hit": stats.bytes_hit,
+            "bytes_missed": stats.bytes_missed,
+            "bytes_admitted": stats.bytes_admitted,
+            "bytes_evicted": stats.bytes_evicted,
+            "final_pd": result.extra.get("final_pd"),
+        }
+    return {
+        "config": {
+            "accesses": OBJECTSTORE_ACCESSES,
+            "seed": OBJECTSTORE_SEED,
+            "capacity_bytes": OBJECTSTORE_CAPACITY_BYTES,
+            "ttl_ms": OBJECTSTORE_TTL_MS,
+        },
+        "trace_fingerprint": accumulator.digest(
+            stream.name, stream.instructions_per_access
+        ),
+        "cells": cells,
+    }
+
+
 def main() -> int:
     golden = compute_golden()
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(json.dumps(golden, indent=2, sort_keys=True) + "\n")
     print(f"wrote {len(golden['cells'])} cells to {GOLDEN_PATH}")
+    objectstore = compute_objectstore_golden()
+    OBJECTSTORE_GOLDEN_PATH.write_text(
+        json.dumps(objectstore, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"wrote {len(objectstore['cells'])} cells to {OBJECTSTORE_GOLDEN_PATH}"
+    )
     return 0
 
 
