@@ -7,6 +7,9 @@ Commands:
 - ``run`` — run one benchmark under one policy and print statistics.
 - ``rdd`` — print a benchmark's reuse-distance distribution.
 - ``sweep`` — static-PD sweep (the Fig. 4 per-benchmark curve).
+- ``explore`` — analytical design-space explorer: predict hit rates for
+  thousands of (sets, ways, d_p) points from one profiling pass (see
+  ``docs/EXPLORER.md``).
 - ``experiment`` — run one of the paper's figure/table drivers.
 - ``overhead`` — the hardware overhead report.
 - ``obs summarize`` — rebuild a result table from a manifest directory.
@@ -19,7 +22,9 @@ Commands:
 - ``serve`` — run the always-on resumable sweep daemon on a service
   root directory (unix socket + job store + per-namespace manifests).
 - ``submit`` / ``jobs`` / ``watch`` — client trio for the daemon:
-  submit a sweep spec, list jobs, stream a job's progress events. See
+  submit a sweep spec, list jobs, stream a job's progress events
+  (``submit --kind predict`` runs the explorer as a cheap first pass
+  and auto-submits top-k simulation follow-ups). See
   ``docs/SERVICE.md``.
 
 ``run`` and ``sweep`` accept ``--trace-file`` to simulate an external
@@ -350,6 +355,33 @@ def _cmd_experiment_objectstore(args) -> int:
     return 0
 
 
+def _cmd_explore(args) -> int:
+    from repro.explore import explore, render_frontier
+
+    config = experiment_common.experiment_config()
+    source = _workload_source(args, config)
+    sets = tuple(int(s) for s in args.sets.split(",") if s.strip())
+    ways = tuple(int(w) for w in args.ways.split(",") if w.strip())
+    try:
+        result = explore(
+            source,
+            sets=sets,
+            ways=ways,
+            pd_max=args.pd_max,
+            pd_step=args.pd_step,
+            d_max=args.d_max,
+            manifest_dir=_manifest_dir(args),
+            run_label=args.label,
+        )
+    except ValueError as exc:
+        print(f"explore failed: {exc}", file=sys.stderr)
+        return 2
+    print(render_frontier(result, top=args.top))
+    if result.manifest_path:
+        print(f"\n[explore manifest: {result.manifest_path}]", file=sys.stderr)
+    return 0
+
+
 def _cmd_overhead(args) -> int:
     from repro.experiments import overhead_report
 
@@ -459,8 +491,12 @@ def _spec_from_args(args):
     for entry in args.mix or []:
         key, _, names = entry.partition("=")
         mixes[key] = [name for name in names.split(",") if name]
+    if args.kind == "predict":
+        kind = "predict"
+    else:
+        kind = "mix_matrix" if mixes else "matrix"
     return SweepSpec(
-        kind="mix_matrix" if mixes else "matrix",
+        kind=kind,
         namespace=args.namespace,
         benchmark=args.benchmark,
         trace_file=args.trace_file,
@@ -477,7 +513,17 @@ def _spec_from_args(args):
         window_size=args.window_size,
         match_git_sha=args.match_git_sha,
         force=args.force,
+        explore_sets=_parse_int_list(args.explore_sets),
+        explore_ways=_parse_int_list(args.explore_ways),
+        top_k=args.top_k,
     )
+
+
+def _parse_int_list(text: str | None) -> list:
+    """``"16,32,64"`` → [16, 32, 64]; None/empty → []."""
+    if not text:
+        return []
+    return [int(token) for token in text.split(",") if token.strip()]
 
 
 def _print_watch_stream(client, job_id: str, replay: bool) -> int:
@@ -492,6 +538,21 @@ def _print_watch_stream(client, job_id: str, replay: bool) -> int:
         if kind == "job-state":
             suffix = f" ({event['error']})" if event.get("error") else ""
             print(f"[{job_id}] state={event.get('state')}{suffix}", file=sys.stderr)
+        elif kind == "followup":
+            policies = ",".join(
+                p["key"] if isinstance(p, dict) else str(p)
+                for p in event.get("policies") or []
+            )
+            print(
+                f"[{job_id}] followup {event.get('job_id')} "
+                f"({event.get('num_sets')}x{event.get('ways')} {policies})",
+                file=sys.stderr,
+            )
+        elif kind == "followup-error":
+            print(
+                f"[{job_id}] followup-error {event.get('error')}",
+                file=sys.stderr,
+            )
         else:
             suffix = f" ({event['error']})" if event.get("error") else ""
             print(
@@ -798,6 +859,52 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.set_defaults(func=_cmd_experiment)
 
+    explore_p = sub.add_parser(
+        "explore",
+        help="analytical design-space explorer: predict hit rates for "
+        "thousands of (sets, ways, d_p) points from one profiling pass",
+    )
+    explore_p.add_argument("--benchmark", default=None)
+    explore_p.add_argument("--length", type=int, default=40_000)
+    explore_p.add_argument("--seed", type=int, default=None)
+    explore_p.add_argument(
+        "--trace-cache-dir",
+        default=None,
+        help="cache generated benchmark traces in this directory",
+    )
+    _add_trace_file(explore_p)
+    explore_p.add_argument(
+        "--sets",
+        default="16,32,64,128,256,512",
+        help="comma-separated candidate set counts (powers of two)",
+    )
+    explore_p.add_argument(
+        "--ways",
+        default="1,2,4,8,16",
+        help="comma-separated candidate associativities",
+    )
+    explore_p.add_argument(
+        "--pd-max", type=int, default=256,
+        help="largest candidate protecting distance",
+    )
+    explore_p.add_argument(
+        "--pd-step", type=int, default=4,
+        help="candidate PD grid spacing (the canonical pd_grid step)",
+    )
+    explore_p.add_argument(
+        "--d-max", type=int, default=1024,
+        help="per-set reuse-distance cap of the rescaled RDD",
+    )
+    explore_p.add_argument(
+        "--top", type=int, default=10,
+        help="number of ranked geometries to print",
+    )
+    explore_p.add_argument(
+        "--label", default=None, help="label recorded in the explore manifest"
+    )
+    _add_manifest_dir(explore_p)
+    explore_p.set_defaults(func=_cmd_explore)
+
     sub.add_parser("overhead", help="hardware overhead report").set_defaults(
         func=_cmd_overhead
     )
@@ -883,6 +990,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("--namespace", default="default",
                         help="manifest namespace (the multi-tenant unit)")
+    submit.add_argument(
+        "--kind",
+        choices=("auto", "predict"),
+        default="auto",
+        help="job kind: auto picks matrix/mix_matrix from the options; "
+        "predict runs the analytical explorer (repro.explore) instead "
+        "of simulating",
+    )
     submit.add_argument("--benchmark", default=None)
     submit.add_argument("--trace-file", default=None)
     submit.add_argument("--trace-format", default=None)
@@ -923,6 +1038,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--force",
         action="store_true",
         help="resume even over a namespace containing corrupt manifests",
+    )
+    submit.add_argument(
+        "--explore-sets",
+        default=None,
+        help="predict jobs: comma-separated candidate set counts "
+        "(default: the explorer's built-in grid)",
+    )
+    submit.add_argument(
+        "--explore-ways",
+        default=None,
+        help="predict jobs: comma-separated candidate associativities",
+    )
+    submit.add_argument(
+        "--top-k",
+        type=int,
+        default=0,
+        help="predict jobs: auto-submit simulation jobs for this many "
+        "predicted-frontier geometries (0 = predictions only)",
     )
     submit.add_argument(
         "--watch",

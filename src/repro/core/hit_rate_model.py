@@ -84,10 +84,14 @@ def find_best_pd(
     """The protecting distance maximizing E(d_p).
 
     Falls back to ``default_pd`` (or the largest candidate) when the RDD is
-    empty — e.g. right after a counter reset.
+    empty — e.g. right after a counter reset. A zero-length counter array
+    yields no candidates at all; that degenerate case also falls back to
+    ``default_pd`` when one is given, and raises otherwise.
     """
     points = evaluate_e_curve(counts, total, step=step, d_e=d_e, min_pd=min_pd)
     if not points:
+        if default_pd is not None:
+            return default_pd
         raise ValueError("no candidate protecting distances (empty curve)")
     if total <= 0 or all(point.e_value == 0.0 for point in points):
         return default_pd if default_pd is not None else points[-1].pd
@@ -124,6 +128,36 @@ def find_peaks(
         peaks = [max(points, key=lambda p: p.e_value)]
     peaks.sort(key=lambda p: -p.e_value)
     return peaks[:max_peaks]
+
+
+def predicted_hit_rate(
+    counts: np.ndarray,
+    total: int,
+    ways: int,
+    pd: int,
+    step: int = 1,
+    d_e: float | None = None,
+) -> float:
+    """The model's absolute hit-rate estimate ``min(1, W * E(d_p))``.
+
+    ``E`` is the paper's hit rate scaled by the associativity ``W``
+    (Sec. 2.4: each of the W lines of a set contributes E hits per set
+    access), so ``W * E(d_p)`` is the predicted hit rate, clamped to 1.
+    ``d_e`` defaults to ``ways`` — the paper's experimentally chosen
+    eviction lag. Monotone non-decreasing in ``ways`` at fixed
+    ``(counts, pd)``: writing ``h(W) = W*A / (B + C*(pd + W))``, its
+    derivative is ``A*(B + C*pd) / (...)^2 >= 0``, and clamping
+    preserves monotonicity. Returns 0.0 for an empty or all-long RDD.
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    points = evaluate_e_curve(counts, total, step=step,
+                              d_e=float(ways if d_e is None else d_e),
+                              min_pd=1)
+    if not points or total <= 0:
+        return 0.0
+    at_pd = next((p for p in points if p.pd >= pd), points[-1])
+    return min(1.0, ways * at_pd.e_value)
 
 
 class HitRateModel:
@@ -181,4 +215,5 @@ __all__ = [
     "evaluate_e_curve",
     "find_best_pd",
     "find_peaks",
+    "predicted_hit_rate",
 ]

@@ -1,0 +1,47 @@
+"""Analytical fast-forward design-space explorer.
+
+One profiling pass over a trace, then thousands of ``(sets, ways, d_p)``
+hit-rate predictions through the extended ``E(d_p)`` model family — no
+per-geometry simulation. Cross-validated against the simulator by
+``tools/xval_explorer.py`` within the error budget declared there and
+documented in ``docs/EXPLORER.md``.
+
+Entry points: :func:`profile_trace` (the pass),
+:func:`explore` (the sweep), ``repro explore`` (the CLI), and the sweep
+service's ``predict`` job kind (:mod:`repro.service`).
+"""
+
+from repro.explore.explorer import (
+    CONFIDENCE_ACCESS_FACTOR,
+    DEFAULT_SETS,
+    DEFAULT_WAYS,
+    ExplorationResult,
+    GeometryPrediction,
+    explore,
+    render_frontier,
+)
+from repro.explore.model import (
+    MODEL_VARIANTS,
+    SetModelView,
+    build_view,
+    predict_curve,
+    predict_hit_rate,
+)
+from repro.explore.profile import TraceProfile, profile_trace
+
+__all__ = [
+    "CONFIDENCE_ACCESS_FACTOR",
+    "DEFAULT_SETS",
+    "DEFAULT_WAYS",
+    "ExplorationResult",
+    "GeometryPrediction",
+    "MODEL_VARIANTS",
+    "SetModelView",
+    "TraceProfile",
+    "build_view",
+    "explore",
+    "predict_curve",
+    "predict_hit_rate",
+    "profile_trace",
+    "render_frontier",
+]

@@ -1,0 +1,253 @@
+"""One-pass streaming trace profiler for the analytical explorer.
+
+A single pass over a :class:`~repro.traces.stream.TraceStream` collects
+everything the geometry model needs, in O(chunk + working set) memory:
+
+- the **request-granular RDD**: a histogram of global reuse distances
+  (number of accesses between consecutive accesses to a block — exactly
+  :func:`repro.traces.analysis.reuse_distances` with ``num_sets=1``),
+  later rescaled analytically to per-set distances for any candidate
+  set count;
+- **per-set-index access counts** at the finest candidate set count
+  (``max_sets``), foldable down to any power-of-two set count below it;
+- **per-block arrival statistics** (address, first-seen position, reuse
+  count), from which the per-set arrival-rank reuse histogram — the
+  frozen-cache plateau of the model — is derived for any set count;
+- the chunk-size-invariant **content fingerprint**
+  (:class:`repro.obs.manifest.FingerprintAccumulator`) that makes
+  explore manifests auditable against simulation manifests of the same
+  trace.
+
+The pass itself never materializes the stream: chunks are consumed one
+at a time and only per-block state persists between chunks (the same
+working-set footprint any reuse-distance analysis needs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.manifest import FingerprintAccumulator
+from repro.traces.stream import as_stream
+
+#: Default cap on profiled global reuse distances (larger distances land
+#: in the overflow bin — "longer than any modeled protection window").
+DEFAULT_GLOBAL_D_MAX = 262_144
+
+#: Default finest set count profiled (power of two; candidate geometries
+#: must use a power-of-two set count at or below this).
+DEFAULT_MAX_SETS = 1_024
+
+
+@dataclass
+class TraceProfile:
+    """Everything one profiling pass learned about a trace.
+
+    ``global_counts[d]`` counts reuses at request-granular distance
+    ``d`` for ``d <= d_max``; index ``d_max + 1`` is the overflow bin.
+    ``acc_per_set`` holds access counts per set index at ``max_sets``
+    sets. ``block_addrs`` / ``block_first_pos`` / ``block_reuses`` are
+    parallel arrays over the distinct blocks of the trace.
+    """
+
+    name: str
+    total_accesses: int
+    d_max: int
+    max_sets: int
+    global_counts: np.ndarray
+    acc_per_set: np.ndarray
+    block_addrs: np.ndarray
+    block_first_pos: np.ndarray
+    block_reuses: np.ndarray
+    fingerprint: str | None = None
+    _rdd_cache: dict = field(default_factory=dict, repr=False)
+    _rank_cache: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def unique_blocks(self) -> int:
+        """Number of distinct blocks the trace touched."""
+        return int(len(self.block_addrs))
+
+    @property
+    def total_reuses(self) -> int:
+        """Number of non-first-touch accesses."""
+        return self.total_accesses - self.unique_blocks
+
+    def _check_sets(self, num_sets: int) -> None:
+        """Reject set counts the profile cannot answer for."""
+        if num_sets < 1 or (num_sets & (num_sets - 1)) != 0:
+            raise ValueError(f"num_sets must be a power of two, got {num_sets}")
+        if num_sets > self.max_sets:
+            raise ValueError(
+                f"num_sets {num_sets} exceeds the profiled max_sets "
+                f"{self.max_sets}; re-profile with a larger max_sets"
+            )
+
+    def rdd_for_sets(
+        self, num_sets: int, d_max_set: int = 1_024, rescale_sets: int | None = None
+    ) -> np.ndarray:
+        """The per-set RDD for ``num_sets`` sets, analytically rescaled.
+
+        A global distance ``D`` (accesses between uses of a block)
+        corresponds to ``D / S`` accesses to the block's set under the
+        uniform ``addr % S`` mapping, so the request-granular histogram
+        is rescaled by ``1/S`` with each count split fractionally
+        between the two neighboring integer bins. Distances beyond
+        ``d_max_set`` (and the global overflow bin) land in index
+        ``d_max_set + 1``. ``rescale_sets`` overrides the divisor —
+        only the cross-validation harness's deliberately broken model
+        variant uses it.
+
+        Returns a float array of length ``d_max_set + 2`` whose total
+        mass equals the trace's reuse count.
+        """
+        self._check_sets(num_sets)
+        divisor = num_sets if rescale_sets is None else rescale_sets
+        key = (num_sets, d_max_set, divisor)
+        cached = self._rdd_cache.get(key)
+        if cached is not None:
+            return cached
+        # Bins 0..d_max rescale by 1/divisor; the global overflow bin
+        # ("longer than profiled") goes straight to the per-set
+        # overflow bin, whatever the set count.
+        counts = self.global_counts[: self.d_max + 1].astype(np.float64)
+        scaled = np.arange(len(counts), dtype=np.float64) / float(divisor)
+        lower = np.floor(scaled).astype(np.int64)
+        frac = scaled - lower
+        overflow = d_max_set + 1
+        lower = np.minimum(lower, overflow)
+        upper = np.minimum(lower + 1, overflow)
+        out = np.zeros(d_max_set + 2, dtype=np.float64)
+        np.add.at(out, lower, counts * (1.0 - frac))
+        np.add.at(out, upper, counts * frac)
+        out[overflow] += float(self.global_counts[self.d_max + 1])
+        self._rdd_cache[key] = out
+        return out
+
+    def accesses_per_set(self, num_sets: int) -> np.ndarray:
+        """Access counts per set index for ``num_sets`` sets.
+
+        Folded from the finest profiled histogram: with both counts
+        powers of two, ``addr % S == (addr % max_sets) % S``.
+        """
+        self._check_sets(num_sets)
+        folded = self.acc_per_set.reshape(self.max_sets // num_sets, num_sets)
+        return folded.sum(axis=0)
+
+    def rank_reuse_cum(self, num_sets: int, max_ways: int = 64) -> np.ndarray:
+        """Cumulative reuse counts by per-set arrival rank.
+
+        ``result[w]`` is the number of reuse accesses whose block was
+        among the first ``w`` distinct blocks of its set (1-indexed by
+        ways; ``result[0] == 0``). This is the exact hit count of a
+        cache that permanently keeps each set's first ``w`` unique
+        blocks — the frozen-cache plateau the model blends toward when
+        the protecting distance exceeds a set's access count.
+        """
+        self._check_sets(num_sets)
+        key = (num_sets, max_ways)
+        cached = self._rank_cache.get(key)
+        if cached is not None:
+            return cached
+        sets = self.block_addrs % num_sets
+        order = np.lexsort((self.block_first_pos, sets))
+        sorted_sets = sets[order]
+        # Rank within set = position in (set, first_pos) order minus the
+        # start offset of the set's group.
+        boundaries = np.flatnonzero(np.diff(sorted_sets)) + 1
+        starts = np.zeros(len(sorted_sets), dtype=np.int64)
+        starts[boundaries] = boundaries
+        starts = np.maximum.accumulate(starts)
+        ranks = np.arange(len(sorted_sets), dtype=np.int64) - starts
+        clamped = np.minimum(ranks, max_ways)
+        by_rank = np.bincount(
+            clamped, weights=self.block_reuses[order].astype(np.float64),
+            minlength=max_ways + 1,
+        )
+        # result[w] counts reuses of blocks with 0-based rank < w; ranks
+        # clamped to max_ways keep result[max_ways] == total reuses only
+        # when no set has more than max_ways blocks, so the clamp bin is
+        # deliberately excluded from result[max_ways].
+        result = np.concatenate(([0.0], np.cumsum(by_rank[:-1])))
+        self._rank_cache[key] = result
+        return result
+
+    def summary(self) -> dict:
+        """JSON-native profile summary for manifests and reports."""
+        return {
+            "name": self.name,
+            "total_accesses": self.total_accesses,
+            "unique_blocks": self.unique_blocks,
+            "total_reuses": self.total_reuses,
+            "d_max": self.d_max,
+            "max_sets": self.max_sets,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def profile_trace(
+    source,
+    d_max: int = DEFAULT_GLOBAL_D_MAX,
+    max_sets: int = DEFAULT_MAX_SETS,
+    chunk_size: int | None = None,
+) -> TraceProfile:
+    """Run the single profiling pass and return its :class:`TraceProfile`.
+
+    ``source`` is a :class:`~repro.traces.trace.Trace` or
+    :class:`~repro.traces.stream.TraceStream`; chunks are consumed one
+    at a time (O(chunk) transient memory plus per-block state). The
+    stream's content fingerprint is accumulated during the same pass.
+    """
+    if max_sets < 1 or (max_sets & (max_sets - 1)) != 0:
+        raise ValueError(f"max_sets must be a power of two, got {max_sets}")
+    stream = as_stream(source, chunk_size)
+    counts = np.zeros(d_max + 2, dtype=np.int64)
+    acc_per_set = np.zeros(max_sets, dtype=np.int64)
+    accumulator = FingerprintAccumulator()
+    # Per-block state: position of last access, index into the parallel
+    # first_pos/reuses lists.
+    last_pos: dict[int, int] = {}
+    block_index: dict[int, int] = {}
+    first_pos: list[int] = []
+    reuses: list[int] = []
+    position = 0
+    overflow = d_max + 1
+    for chunk in stream.chunks():
+        accumulator.update(chunk)
+        addresses = chunk.addresses
+        np.add.at(acc_per_set, addresses % max_sets, 1)
+        for addr in addresses.tolist():
+            previous = last_pos.get(addr)
+            if previous is None:
+                block_index[addr] = len(first_pos)
+                first_pos.append(position)
+                reuses.append(0)
+            else:
+                distance = position - previous
+                counts[distance if distance <= d_max else overflow] += 1
+                reuses[block_index[addr]] += 1
+            last_pos[addr] = position
+            position += 1
+    addrs = np.fromiter(block_index.keys(), dtype=np.int64, count=len(block_index))
+    return TraceProfile(
+        name=stream.name,
+        total_accesses=position,
+        d_max=d_max,
+        max_sets=max_sets,
+        global_counts=counts,
+        acc_per_set=acc_per_set,
+        block_addrs=addrs,
+        block_first_pos=np.asarray(first_pos, dtype=np.int64),
+        block_reuses=np.asarray(reuses, dtype=np.int64),
+        fingerprint=accumulator.digest(stream.name, stream.instructions_per_access),
+    )
+
+
+__all__ = [
+    "DEFAULT_GLOBAL_D_MAX",
+    "DEFAULT_MAX_SETS",
+    "TraceProfile",
+    "profile_trace",
+]

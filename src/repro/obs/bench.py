@@ -333,13 +333,112 @@ def _trajectory_section(manifest_dir: Path) -> list[str]:
     return lines
 
 
+def _label_pd(label: str | None) -> int | None:
+    """The static PD a simulation cell's label encodes, or None.
+
+    Accepts both labeling conventions for static-PD cells: the bare
+    distance ``"84"`` (``sweep_static_pd`` names cells by PD) and the
+    ``"spdp-84"`` policy keys of service-submitted follow-up jobs.
+    """
+    if not label:
+        return None
+    tail = label.rsplit("-", 1)[-1] if label.startswith("spdp-") else label
+    try:
+        return int(tail)
+    except ValueError:
+        return None
+
+
+def _explore_sections(manifests: list) -> list[str]:
+    """Markdown lines for explore manifests: frontier tables plus a
+    prediction-vs-simulation error table for every simulated static-PD
+    cell of the same trace (matched by fingerprint + geometry + PD)."""
+    explores = [m for m in manifests if m.kind == "explore"]
+    if not explores:
+        return []
+    lines: list[str] = []
+    for manifest in explores:
+        stats = manifest.stats
+        lines += [
+            "",
+            f"## Exploration — `{manifest.workload}` "
+            f"({stats.get('points', 0)} points, "
+            f"{stats.get('geometries', 0)} geometries, "
+            f"{manifest.wall_time_s:.2f}s)",
+            "",
+            "| sets | ways | capacity | best PD | pred hit rate | confidence |",
+            "|-----:|-----:|---------:|--------:|--------------:|:-----------|",
+        ]
+        for entry in manifest.extra.get("frontier", [])[:10]:
+            lines.append(
+                f"| {entry['num_sets']} | {entry['ways']} "
+                f"| {entry['capacity_bytes']:,} B | {entry['best_pd']} "
+                f"| {entry['best_hit_rate']:.4f} | {entry['confidence']} |"
+            )
+        lines += _prediction_error_rows(manifest, manifests)
+    return lines
+
+
+def _prediction_error_rows(explore, manifests: list) -> list[str]:
+    """The error-table lines of one explore manifest ([] if no
+    simulation of the same trace exists in the directory)."""
+    predictions = {
+        (p["num_sets"], p["ways"]): p
+        for p in explore.extra.get("predictions", [])
+    }
+    rows = []
+    for manifest in manifests:
+        if manifest.kind != "llc":
+            continue
+        if manifest.trace_fingerprint != explore.trace_fingerprint:
+            continue
+        pd = _label_pd(manifest.label)
+        if pd is None:
+            continue
+        geometry = (
+            manifest.config.get("num_sets"), manifest.config.get("ways")
+        )
+        prediction = predictions.get(geometry)
+        if prediction is None or pd not in prediction["pds"]:
+            continue
+        predicted = prediction["hit_rates"][prediction["pds"].index(pd)]
+        simulated = manifest.metrics.get("hit_rate")
+        if simulated is None:
+            continue
+        rows.append((geometry[0], geometry[1], pd, predicted, simulated))
+    if not rows:
+        return []
+    lines = [
+        "",
+        "### Prediction vs simulation",
+        "",
+        "| sets | ways | PD | predicted | simulated | error (pts) |",
+        "|-----:|-----:|---:|----------:|----------:|------------:|",
+    ]
+    errors = []
+    for num_sets, ways, pd, predicted, simulated in sorted(rows):
+        error = (predicted - simulated) * 100.0
+        errors.append(abs(error))
+        lines.append(
+            f"| {num_sets} | {ways} | {pd} | {predicted:.4f} "
+            f"| {simulated:.4f} | {error:+.2f} |"
+        )
+    lines.append(
+        f"\nmean abs error {sum(errors) / len(errors):.2f} pts, "
+        f"max {max(errors):.2f} pts over {len(errors)} simulated cell(s)"
+    )
+    return lines
+
+
 def render_report(
     manifest_dir: str | os.PathLike, html: bool = False
 ) -> str:
     """Render the observatory report for a manifest directory.
 
     Built from the manifests alone (no re-simulation): the summary
-    table of :func:`repro.obs.manifest.summarize_manifests`, per-run
+    table of :func:`repro.obs.manifest.summarize_manifests`, per-explore
+    frontier tables with prediction-vs-simulation error rows for every
+    static-PD cell sharing the explore's trace fingerprint, per-run
     sparkline plots of recorded windows (hit rate, byte hit rate for
     software-cache runs, PD, protected lines, evictions), and — when a trajectory file is present — per-key
     throughput history. ``html=True`` wraps the markdown in a minimal
@@ -349,6 +448,7 @@ def render_report(
     manifests = load_manifests(directory)
     lines = [f"# Simulation report — {directory}", ""]
     lines.append(summarize_manifests(manifests))
+    lines += _explore_sections(manifests)
     plotted = [m for m in manifests if m.timeseries.get("windows")]
     if plotted:
         lines += ["", f"## Window plots ({len(plotted)} recorded runs)", ""]

@@ -10,6 +10,15 @@ multi-tenant unit: each one is a separate manifest directory under the
 service root, and resume matching only ever looks inside the submitting
 job's namespace.
 
+The third kind, ``predict``, is the analytical fast-forward tier: one
+:func:`repro.explore.explore` pass over the workload instead of a
+simulation grid. Its geometry fields (``explore_sets``/``explore_ways``
+and the PD-grid knobs) describe the design space to evaluate, and
+``top_k > 0`` asks the service to auto-submit follow-up ``matrix`` jobs
+(:func:`predict_followup_specs`) that *simulate* the top-K predicted
+frontier geometries at their predicted-best static PD — cheap triage
+first, expensive confirmation only where the model says it matters.
+
 A :class:`JobRecord` tracks one submitted spec through its lifecycle
 (``queued → running → done|failed``, plus ``cancelled``), and the
 :class:`JobStore` persists records as atomic JSON files under
@@ -32,7 +41,7 @@ from typing import Callable
 from repro.obs.manifest import new_run_id, utc_now_iso
 
 #: Sweep kinds the service can schedule.
-VALID_KINDS = ("matrix", "mix_matrix")
+VALID_KINDS = ("matrix", "mix_matrix", "predict")
 
 #: Lifecycle states of a job record.
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
@@ -59,6 +68,17 @@ class SweepSpec:
     resume; ``force=True`` lets the job resume over a namespace
     containing corrupt manifests (which are otherwise refused — see
     :class:`repro.service.scheduler.CorruptManifestError`).
+
+    ``num_sets`` doubles as the benchmark *generation* parameter and the
+    simulated geometry; ``trace_num_sets`` decouples them when set — the
+    trace generates with ``trace_num_sets`` while the cache simulates at
+    ``num_sets``. Predict follow-up jobs rely on this so their simulated
+    geometries all share the predict pass's exact trace (and therefore
+    its fingerprint, the join key of the prediction-error report).
+
+    ``explore_sets``/``explore_ways`` (empty → the explorer's defaults),
+    ``pd_max``/``pd_step``/``d_max`` and ``top_k`` only apply to
+    ``predict`` jobs; see the module docstring.
     """
 
     kind: str = "matrix"
@@ -78,6 +98,14 @@ class SweepSpec:
     window_size: int | None = None
     match_git_sha: bool = False
     force: bool = False
+    trace_num_sets: int | None = None
+    # -- predict-kind fields (ignored by matrix/mix_matrix jobs) ----------
+    explore_sets: list = field(default_factory=list)
+    explore_ways: list = field(default_factory=list)
+    pd_max: int = 256
+    pd_step: int = 4
+    d_max: int = 1_024
+    top_k: int = 0
 
     def validate(self) -> None:
         """Reject malformed specs with a actionable :class:`SpecError`."""
@@ -94,6 +122,37 @@ class SweepSpec:
                 )
             if not self.policies:
                 raise SpecError("matrix jobs need at least one policy")
+        elif self.kind == "predict":
+            if (self.benchmark is None) == (self.trace_file is None):
+                raise SpecError(
+                    "predict jobs need exactly one of benchmark/trace_file"
+                )
+            if self.policies:
+                raise SpecError(
+                    "predict jobs are analytical and take no policies; "
+                    "follow-up simulation jobs pick theirs automatically"
+                )
+            for label, values in (
+                ("explore_sets", self.explore_sets),
+                ("explore_ways", self.explore_ways),
+            ):
+                for value in values:
+                    if not isinstance(value, int) or value < 1:
+                        raise SpecError(
+                            f"{label} entries must be positive ints, got {value!r}"
+                        )
+            for value in self.explore_sets:
+                if value & (value - 1):
+                    raise SpecError(
+                        f"explore_sets entries must be powers of two, got {value}"
+                    )
+            if self.pd_max < 1 or self.pd_step < 1 or self.d_max < 1:
+                raise SpecError(
+                    "pd_max, pd_step and d_max must be >= 1, got "
+                    f"{self.pd_max}/{self.pd_step}/{self.d_max}"
+                )
+            if self.top_k < 0:
+                raise SpecError(f"top_k must be >= 0, got {self.top_k}")
         else:
             if not self.mixes:
                 raise SpecError("mix_matrix jobs need a non-empty mixes dict")
@@ -164,21 +223,83 @@ def policy_factories(spec: SweepSpec) -> dict[str, Callable]:
 
 
 def load_matrix_source(spec: SweepSpec):
-    """Resolve a matrix job's workload: a generated benchmark
+    """Resolve a matrix/predict job's workload: a generated benchmark
     :class:`~repro.traces.trace.Trace`, or an on-disk trace opened as a
-    chunked :class:`~repro.traces.stream.TraceStream`."""
+    chunked :class:`~repro.traces.stream.TraceStream`. Benchmark
+    generation uses ``trace_num_sets`` when set (so follow-up jobs can
+    simulate other geometries on the identical trace), ``num_sets``
+    otherwise."""
     if spec.trace_file is not None:
         from repro.traces.formats import open_trace
 
         return open_trace(spec.trace_file, format=spec.trace_format)
     from repro.workloads.spec_like import make_benchmark_trace
 
+    generation_sets = (
+        spec.trace_num_sets if spec.trace_num_sets is not None else spec.num_sets
+    )
     return make_benchmark_trace(
         spec.benchmark,
         length=spec.length,
-        num_sets=spec.num_sets,
+        num_sets=generation_sets,
         seed=spec.seed,
     )
+
+
+def predict_followup_specs(spec: SweepSpec, frontier: list) -> list:
+    """Simulation specs for a predict job's top-K frontier geometries.
+
+    ``frontier`` entries are the explore manifest's frontier dicts
+    (``num_sets``, ``ways``, ``best_pd``, ...), best predicted hit rate
+    first. Each follow-up is a single-cell ``matrix`` job in the same
+    namespace simulating SPDP-B at the predicted-best static PD on the
+    predict pass's exact trace: ``trace_num_sets`` pins benchmark
+    generation to the predict job's generation parameter while
+    ``num_sets``/``ways`` take the frontier geometry, keeping the trace
+    fingerprint — the prediction-error report's join key — identical
+    across the predict job and every follow-up. The cell label
+    ``spdp-<pd>`` is what ``repro obs report`` parses the simulated PD
+    back out of.
+    """
+    followups = []
+    for entry in frontier[: max(spec.top_k, 0)]:
+        best_pd = int(entry["best_pd"])
+        followups.append(
+            SweepSpec(
+                kind="matrix",
+                namespace=spec.namespace,
+                benchmark=spec.benchmark,
+                trace_file=spec.trace_file,
+                trace_format=spec.trace_format,
+                length=spec.length,
+                seed=spec.seed,
+                policies=[
+                    {
+                        "key": f"spdp-{best_pd}",
+                        "name": "pdp",
+                        "kwargs": {"static_pd": best_pd, "bypass": True},
+                    }
+                ],
+                num_sets=int(entry["num_sets"]),
+                ways=int(entry["ways"]),
+                line_size=spec.line_size,
+                engine=spec.engine,
+                workers=spec.workers,
+                window_size=spec.window_size,
+                match_git_sha=spec.match_git_sha,
+                force=spec.force,
+                trace_num_sets=(
+                    None
+                    if spec.benchmark is None
+                    else (
+                        spec.trace_num_sets
+                        if spec.trace_num_sets is not None
+                        else spec.num_sets
+                    )
+                ),
+            )
+        )
+    return followups
 
 
 def load_mix_traces(spec: SweepSpec) -> dict[str, list]:
@@ -346,5 +467,6 @@ __all__ = [
     "load_matrix_source",
     "load_mix_traces",
     "policy_factories",
+    "predict_followup_specs",
     "spec_geometry",
 ]

@@ -43,7 +43,7 @@ from repro.obs.manifest import (
     trace_fingerprint,
 )
 from repro.obs.manifest import git_sha as _git_sha
-from repro.obs.progress import ProgressEvent
+from repro.obs.progress import ProgressEvent, ProgressReporter
 from repro.obs.trace_log import EVENTS_FILENAME, TraceLog
 from repro.sim.multi_core import MultiCoreResult, ThreadOutcome
 from repro.sim.parallel import run_matrix, run_mix_matrix
@@ -457,6 +457,110 @@ def run_resumable_mix_matrix(
     return results, plan
 
 
+def _matching_explore_manifest(
+    report: ManifestLoadReport, fingerprint: str, config: dict
+) -> Manifest | None:
+    """The namespace's ``kind="explore"`` manifest satisfying a predict
+    cell (same trace fingerprint, same design-space config), or None."""
+    for manifest in report.manifests:
+        if manifest.kind != "explore":
+            continue
+        if manifest.trace_fingerprint != fingerprint:
+            continue
+        if all(manifest.config.get(key) == value for key, value in config.items()):
+            return manifest
+    return None
+
+
+def execute_predict(
+    spec,
+    manifest_dir: str | os.PathLike,
+    on_event: Callable[[ProgressEvent], None] | None = None,
+) -> dict:
+    """Run one ``predict`` spec: the analytical explorer with resume.
+
+    The cell identity is (trace fingerprint, design-space config): when
+    the namespace already holds a ``kind="explore"`` manifest matching
+    both, the pass is skipped and the frontier reloaded from it —
+    profiling is cheap but not free, and skip-on-resume keeps predict
+    jobs idempotent like their simulation siblings. Returns the usual
+    summary dict plus ``frontier`` (the ranked geometry dicts) and
+    ``followups`` (``top_k`` single-cell matrix specs as dicts, ready
+    for :meth:`SweepSpec.from_dict` — the daemon auto-submits them).
+    """
+    from repro.explore.explorer import DEFAULT_SETS, DEFAULT_WAYS, explore
+    from repro.service.jobs import load_matrix_source, predict_followup_specs
+
+    spec.validate()
+    report = check_resume_substrate(manifest_dir, force=spec.force)
+    trace = load_matrix_source(spec)
+    sets = tuple(spec.explore_sets) or DEFAULT_SETS
+    ways = tuple(spec.explore_ways) or DEFAULT_WAYS
+    config = {
+        "sets": sorted(set(int(s) for s in sets)),
+        "ways": sorted(set(int(w) for w in ways)),
+        "pd_max": spec.pd_max,
+        "pd_step": spec.pd_step,
+        "d_max": spec.d_max,
+        "line_size": spec.line_size,
+        "model_variant": "default",
+    }
+    reporter = ProgressReporter(1, on_event, label="predict")
+    started = perf_counter()
+    existing = None
+    if any(m.kind == "explore" for m in report.manifests):
+        fingerprint = fingerprint_source(trace)
+        existing = _matching_explore_manifest(report, fingerprint, config)
+    if existing is not None:
+        if on_event is not None:
+            on_event(
+                ProgressEvent(
+                    kind="skipped",
+                    key="explore",
+                    done=1,
+                    total=1,
+                    elapsed_s=perf_counter() - started,
+                )
+            )
+        frontier = list(existing.extra.get("frontier", []))
+        skipped, ran = 1, 0
+    else:
+        reporter.started("explore")
+        result = explore(
+            trace,
+            sets=sets,
+            ways=ways,
+            pd_max=spec.pd_max,
+            pd_step=spec.pd_step,
+            d_max=spec.d_max,
+            line_size=spec.line_size,
+            manifest_dir=manifest_dir,
+        )
+        reporter.finished("explore")
+        frontier = [
+            {
+                "num_sets": p.num_sets,
+                "ways": p.ways,
+                "capacity_bytes": p.capacity_bytes,
+                "best_pd": p.best_pd,
+                "best_hit_rate": round(p.best_hit_rate, 9),
+                "confidence": p.confidence,
+            }
+            for p in result.frontier
+        ]
+        skipped, ran = 0, 1
+    followups = predict_followup_specs(spec, frontier) if spec.top_k else []
+    return {
+        "kind": "predict",
+        "total_cells": 1,
+        "skipped_cells": skipped,
+        "ran_cells": ran,
+        "cells": 1,
+        "frontier": frontier,
+        "followups": [f.to_dict() for f in followups],
+    }
+
+
 def execute_spec(
     spec,
     manifest_dir: str | os.PathLike,
@@ -469,7 +573,9 @@ def execute_spec(
     (``kind``, ``total_cells``, ``skipped_cells``, ``ran_cells``).
     Simulation failures propagate (after the grid completes its other
     cells and writes its sweep manifest — the ``run_matrix`` contract),
-    as does :class:`CorruptManifestError`.
+    as does :class:`CorruptManifestError`. ``predict`` specs route to
+    :func:`execute_predict`, whose summary additionally carries the
+    predicted frontier and any follow-up simulation specs.
     """
     from repro.service.jobs import (
         load_matrix_source,
@@ -478,6 +584,8 @@ def execute_spec(
         spec_geometry,
     )
 
+    if spec.kind == "predict":
+        return execute_predict(spec, manifest_dir, on_event)
     spec.validate()
     factories = policy_factories(spec)
     geometry = spec_geometry(spec)
@@ -523,6 +631,7 @@ __all__ = [
     "CorruptManifestError",
     "ResumePlan",
     "check_resume_substrate",
+    "execute_predict",
     "execute_spec",
     "manifest_satisfies_cell",
     "multi_core_result_from_manifest",

@@ -173,6 +173,7 @@ class SweepService:
         else:
             record.state = "done"
             record.total_cells = summary["total_cells"]
+            self._submit_followups(record, summary.get("followups") or [])
         record.finished_at = utc_now_iso()
         record.skipped_cells = counts["skipped"]
         record.ran_cells = counts["finished"]
@@ -187,6 +188,42 @@ class SweepService:
             {"kind": "job-state", "state": record.state, "error": record.error},
         )
         self._finish_stream(record.job_id)
+
+    def _submit_followups(self, parent: JobRecord, specs: list) -> None:
+        """Queue the simulation jobs a predict job asked for.
+
+        Each spec dict (from ``execute_predict``'s summary) becomes a
+        normal queued :class:`JobRecord` — persisted first, so a daemon
+        crash between parent completion and follow-up execution recovers
+        them like any other queued job. A ``followup`` event on the
+        parent's stream links each child id for watchers. A malformed
+        follow-up spec fails that follow-up only, never the parent (its
+        results are already durable); the error is published instead.
+        """
+        for spec_dict in specs:
+            try:
+                spec = SweepSpec.from_dict(spec_dict)
+                spec.validate()
+                policy_factories(spec)
+            except SpecError as exc:
+                self._publish(
+                    parent.job_id,
+                    {"kind": "followup-error", "error": str(exc)},
+                )
+                continue
+            child = JobRecord.new(spec)
+            self.store.save(child)
+            self._queue.put_nowait(child.job_id)
+            self._publish(
+                parent.job_id,
+                {
+                    "kind": "followup",
+                    "job_id": child.job_id,
+                    "num_sets": spec.num_sets,
+                    "ways": spec.ways,
+                    "policies": spec.policies,
+                },
+            )
 
     # -- event fan-out -----------------------------------------------------
 

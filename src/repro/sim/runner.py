@@ -119,8 +119,15 @@ def compare_policies(
 def default_pd_candidates(
     associativity: int = 16, d_max: int = 256, step: int = 4
 ) -> list[int]:
-    """PD sweep grid: associativity up to d_max in S_c steps."""
-    return list(range(associativity, d_max + 1, step))
+    """PD sweep grid: associativity up to d_max in S_c steps.
+
+    Delegates to :func:`repro.core.pd_grid.pd_grid` — the canonical
+    grid shared with the analytical explorer and its cross-validation
+    harness, so "within one grid step" means the same thing everywhere.
+    """
+    from repro.core.pd_grid import pd_grid
+
+    return pd_grid(associativity, d_max=d_max, step=step)
 
 
 __all__ = [

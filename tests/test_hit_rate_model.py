@@ -157,3 +157,109 @@ class TestModelTracksSimulatedHitRate:
             hit_rates.append(results[pd].hit_rate)
         correlation = np.corrcoef(e_values, hit_rates)[0, 1]
         assert correlation > 0.7
+
+
+class TestModelProperties:
+    """Property-based invariants of the E(d_p) model family (hypothesis)."""
+
+    @staticmethod
+    def _rdds():
+        from hypothesis import strategies as st
+
+        return st.lists(st.integers(min_value=0, max_value=5_000), min_size=1, max_size=48)
+
+    def test_e_values_bounded(self):
+        """E in [0, 1]: it is hits per slot-time unit, never negative
+        and never more than one hit per set access."""
+        from hypothesis import given, settings
+
+        @settings(max_examples=200, deadline=None)
+        @given(counts=self._rdds(), extra=st_integers_small())
+        def check(counts, extra):
+            from repro.core.hit_rate_model import evaluate_e_curve
+
+            array = np.asarray(counts, dtype=np.int64)
+            total = int(array.sum()) + extra
+            for point in evaluate_e_curve(array, total, step=2, d_e=8.0):
+                assert 0.0 <= point.e_value <= 1.0
+
+        check()
+
+    def test_predicted_hit_rate_monotone_in_ways(self):
+        """At fixed (RDD, d_p), more ways never predicts fewer hits:
+        h(W) = W*A / (B + C*(pd + W)) has nonnegative derivative."""
+        from hypothesis import given, settings
+
+        @settings(max_examples=200, deadline=None)
+        @given(counts=self._rdds(), extra=st_integers_small(), pd=st_pds())
+        def check(counts, extra, pd):
+            from repro.core.hit_rate_model import predicted_hit_rate
+
+            array = np.asarray(counts, dtype=np.int64)
+            total = int(array.sum()) + extra
+            rates = [
+                predicted_hit_rate(array, total, ways, pd, step=2)
+                for ways in (1, 2, 4, 8, 16, 32)
+            ]
+            for lower, higher in zip(rates, rates[1:]):
+                assert higher >= lower - 1e-12
+            assert all(0.0 <= rate <= 1.0 for rate in rates)
+
+        check()
+
+    def test_find_best_pd_returns_grid_point(self):
+        """The argmax is always one of the candidate bin boundaries."""
+        from hypothesis import given, settings
+
+        @settings(max_examples=200, deadline=None)
+        @given(counts=self._rdds(), extra=st_integers_small())
+        def check(counts, extra):
+            from repro.core.hit_rate_model import find_best_pd
+
+            array = np.asarray(counts, dtype=np.int64)
+            total = int(array.sum()) + extra
+            step = 3
+            pd = find_best_pd(array, total, step=step, default_pd=step)
+            candidates = {(index + 1) * step for index in range(len(array))}
+            candidates.add(step)
+            assert pd in candidates
+
+        check()
+
+    @pytest.mark.parametrize(
+        "counts,total",
+        [
+            (np.array([], dtype=np.int64), 0),
+            (np.zeros(1, dtype=np.int64), 0),
+            (np.array([7], dtype=np.int64), 7),
+            (np.zeros(16, dtype=np.int64), 10_000),  # all reuse beyond d_max
+        ],
+    )
+    def test_degenerate_rdds_do_not_raise(self, counts, total):
+        """Empty, single-bin and all-infinite RDDs stay well-defined."""
+        from repro.core.hit_rate_model import (
+            evaluate_e_curve,
+            find_best_pd,
+            predicted_hit_rate,
+        )
+
+        points = evaluate_e_curve(counts, total, step=4)
+        assert all(0.0 <= p.e_value <= 1.0 for p in points)
+        pd = find_best_pd(counts, total, step=4, default_pd=16)
+        assert pd >= 1
+        rate = predicted_hit_rate(counts, total, ways=8, pd=16, step=4)
+        assert 0.0 <= rate <= 1.0
+
+
+def st_integers_small():
+    """Extra non-reuse accesses: keeps N_t >= sum(N_i) by construction."""
+    from hypothesis import strategies as st
+
+    return st.integers(min_value=0, max_value=10_000)
+
+
+def st_pds():
+    """Candidate protecting distances for the property tests."""
+    from hypothesis import strategies as st
+
+    return st.integers(min_value=1, max_value=128)

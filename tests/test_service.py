@@ -569,3 +569,112 @@ class TestServiceProcess:
                 proc.wait(timeout=15)
             except subprocess.TimeoutExpired:
                 proc.kill()
+
+
+class TestPredictTier:
+    """The analytical fast-forward tier: predict specs, resume-skip,
+    and auto-submitted follow-up simulation jobs."""
+
+    def _spec(self, **overrides) -> SweepSpec:
+        base = dict(
+            kind="predict",
+            benchmark="403.gcc",
+            length=4000,
+            namespace="t",
+            explore_sets=[16, 32, 64],
+            explore_ways=[2, 4],
+            pd_max=64,
+            pd_step=8,
+        )
+        base.update(overrides)
+        return SweepSpec(**base)
+
+    def test_spec_validation(self):
+        self._spec().validate()
+        with pytest.raises(SpecError, match="exactly one"):
+            self._spec(benchmark=None).validate()
+        with pytest.raises(SpecError, match="no policies"):
+            self._spec(policies=["lru"]).validate()
+        with pytest.raises(SpecError, match="powers of two"):
+            self._spec(explore_sets=[48]).validate()
+        with pytest.raises(SpecError, match="positive ints"):
+            self._spec(explore_ways=[0]).validate()
+        with pytest.raises(SpecError, match="top_k"):
+            self._spec(top_k=-1).validate()
+        # round-trips through the wire format
+        SweepSpec.from_dict(self._spec().to_dict()).validate()
+
+    def test_execute_predict_with_resume_and_followups(self, tmp_path):
+        from repro.service.scheduler import execute_spec
+
+        events: list = []
+        spec = self._spec(top_k=2)
+        first = execute_spec(spec, tmp_path, on_event=events.append)
+        assert first["kind"] == "predict"
+        assert first["ran_cells"] == 1 and first["skipped_cells"] == 0
+        assert first["frontier"] and len(first["followups"]) == 2
+        manifests = scan_manifests(tmp_path).manifests
+        assert [m.kind for m in manifests] == ["explore"]
+
+        # identical spec resumes from the manifest (no second profiling)
+        second = execute_spec(
+            SweepSpec.from_dict(spec.to_dict()), tmp_path, on_event=events.append
+        )
+        assert second["ran_cells"] == 0 and second["skipped_cells"] == 1
+        assert second["frontier"] == first["frontier"]
+        assert [e.kind for e in events] == ["started", "finished", "skipped"]
+
+        # a different design space is a different cell: it re-runs
+        third = execute_spec(self._spec(pd_step=16), tmp_path)
+        assert third["ran_cells"] == 1
+
+        # follow-ups are valid single-cell matrix specs pinned to the
+        # predict pass's exact trace (same fingerprint after num_sets
+        # changes geometry)
+        followup = SweepSpec.from_dict(first["followups"][0])
+        followup.validate()
+        assert followup.kind == "matrix"
+        assert followup.trace_num_sets == spec.num_sets
+        assert followup.policies[0]["name"] == "pdp"
+        assert followup.policies[0]["kwargs"]["bypass"] is True
+
+    def test_daemon_runs_predict_and_auto_submits_followups(self, tmp_path):
+        async def scenario():
+            service = SweepService(tmp_path, install_signal_handlers=False)
+            await service.start()
+            try:
+                def client_side():
+                    with ServiceClient(service_socket(tmp_path)) as client:
+                        done, events = _submit_and_wait(
+                            client, self._spec(top_k=1)
+                        )
+                        deadline = time.monotonic() + 60
+                        while time.monotonic() < deadline:
+                            jobs = client.jobs()
+                            if len(jobs) == 2 and all(
+                                j["state"] == "done" for j in jobs
+                            ):
+                                break
+                            time.sleep(0.05)
+                        return done, events, client.jobs()
+
+                return await asyncio.to_thread(client_side)
+            finally:
+                await service.stop()
+
+        done, events, jobs = asyncio.run(scenario())
+        assert done["state"] == "done"
+        followup_events = [e for e in events if e["kind"] == "followup"]
+        assert len(followup_events) == 1
+        assert len(jobs) == 2 and all(j["state"] == "done" for j in jobs)
+        child = next(
+            j for j in jobs if j["job_id"] == followup_events[0]["job_id"]
+        )
+        assert child["spec"]["kind"] == "matrix"
+        manifests = scan_manifests(tmp_path / "namespaces" / "t").manifests
+        kinds = sorted(m.kind for m in manifests)
+        assert "explore" in kinds and "llc" in kinds
+        explore_manifest = next(m for m in manifests if m.kind == "explore")
+        llc = next(m for m in manifests if m.kind == "llc")
+        # the join key of the prediction-error report holds end to end
+        assert llc.trace_fingerprint == explore_manifest.trace_fingerprint

@@ -26,6 +26,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "single_core.json"
 OBJECTSTORE_GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "objectstore.json"
+EXPLORE_GOLDEN_PATH = REPO_ROOT / "tests" / "golden" / "explore.json"
 
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -165,6 +166,66 @@ def compute_objectstore_golden() -> dict:
     }
 
 
+#: Explorer golden grid: one seeded benchmark, a small design space.
+EXPLORE_BENCHMARK = "403.gcc"
+EXPLORE_LENGTH = 8_000
+EXPLORE_SETS = (16, 32, 64)
+EXPLORE_WAYS = (2, 4, 8)
+EXPLORE_PD_MAX = 128
+EXPLORE_PD_STEP = 8
+
+
+def compute_explore_golden() -> dict:
+    """Run the pinned explorer grid and return the golden dict.
+
+    Pins every predicted hit-rate curve (rounded to 9 decimal places,
+    the manifest precision), the per-geometry best PD, the frontier
+    flags, and the profile's content fingerprint. Drift in the profiler
+    (RDD collection, per-set folding, arrival ranks), the rescaling, or
+    the model itself fails the tripwire in ``tests/test_explore.py``
+    with a per-geometry diff.
+    """
+    from repro.explore import explore
+    from repro.workloads import make_benchmark_trace
+
+    trace = make_benchmark_trace(EXPLORE_BENCHMARK, length=EXPLORE_LENGTH)
+    result = explore(
+        trace,
+        sets=EXPLORE_SETS,
+        ways=EXPLORE_WAYS,
+        pd_max=EXPLORE_PD_MAX,
+        pd_step=EXPLORE_PD_STEP,
+    )
+    cells = {
+        f"{p.num_sets}x{p.ways}": {
+            "pds": list(p.pds),
+            "hit_rates": [round(h, 9) for h in p.hit_rates],
+            "best_pd": p.best_pd,
+            "best_hit_rate": round(p.best_hit_rate, 9),
+            "confidence": p.confidence,
+            "on_frontier": p.on_frontier,
+        }
+        for p in result.predictions
+    }
+    return {
+        "config": {
+            "benchmark": EXPLORE_BENCHMARK,
+            "length": EXPLORE_LENGTH,
+            "sets": list(EXPLORE_SETS),
+            "ways": list(EXPLORE_WAYS),
+            "pd_max": EXPLORE_PD_MAX,
+            "pd_step": EXPLORE_PD_STEP,
+        },
+        "trace_fingerprint": result.profile_summary["fingerprint"],
+        "profile": {
+            "total_accesses": result.profile_summary["total_accesses"],
+            "unique_blocks": result.profile_summary["unique_blocks"],
+            "total_reuses": result.profile_summary["total_reuses"],
+        },
+        "cells": cells,
+    }
+
+
 def main() -> int:
     golden = compute_golden()
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
@@ -176,6 +237,13 @@ def main() -> int:
     )
     print(
         f"wrote {len(objectstore['cells'])} cells to {OBJECTSTORE_GOLDEN_PATH}"
+    )
+    explore_golden = compute_explore_golden()
+    EXPLORE_GOLDEN_PATH.write_text(
+        json.dumps(explore_golden, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"wrote {len(explore_golden['cells'])} cells to {EXPLORE_GOLDEN_PATH}"
     )
     return 0
 

@@ -1,0 +1,300 @@
+"""Cross-validate the analytical explorer against the simulator.
+
+The error-budget gate of ``repro.explore`` (CI job ``explorer-xval``)::
+
+    python tools/xval_explorer.py                 # full declared grid
+    python tools/xval_explorer.py --benchmarks 403.gcc --geometries 64x4
+    python tools/xval_explorer.py --variant broken-set-rescale  # must fail
+    python tools/xval_explorer.py --out xval_report.md
+
+For every declared (benchmark, geometry) cell the harness runs one
+analytical prediction (one profiling pass per benchmark, shared across
+its geometries) and one ground-truth SPDP-B sweep
+(:func:`repro.sim.runner.sweep_static_pd`) over the *same* canonical PD
+grid (:func:`repro.core.pd_grid.pd_grid`, step ``PD_STEP``), then holds
+the model to the declared budget:
+
+- mean ``|predicted - simulated|`` hit rate over all (geometry, PD)
+  points at most ``BUDGET_MEAN_PTS`` percentage points;
+- max absolute error at most ``BUDGET_MAX_PTS`` points;
+- the predicted-best static PD within one PD-grid step of the empirical
+  best, **or** within ``BUDGET_TIE_PTS`` points of the empirical best
+  hit rate (flat curves make the argmax itself noise — what matters is
+  that acting on the prediction costs almost nothing).
+
+Exit status 0 when every cell passes, 1 with a located per-geometry
+error report otherwise. ``--variant`` injects a registered model
+variant (``broken-set-rescale`` rescales reuse distances with an
+off-by-one set count) — the negative test asserts the harness catches
+it. The module is importable: ``run_xval`` returns the raw comparison
+rows and ``check_budget`` the violations, which is how
+``tests/test_explore.py`` runs a reduced grid in-process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.pd_grid import grid_step, pd_grid  # noqa: E402
+from repro.explore import explore  # noqa: E402
+from repro.memory.cache import CacheGeometry  # noqa: E402
+from repro.sim.runner import sweep_static_pd  # noqa: E402
+from repro.workloads import make_benchmark_trace  # noqa: E402
+
+#: The declared cross-validation grid: diverse RDD shapes (streaming,
+#: LRU-friendly, scan-heavy, mixed) by construction of the SPEC-like
+#: profiles. 473.astar is deliberately absent: it is the measured
+#: out-of-model workload (see docs/EXPLORER.md, "Known limitations") —
+#: its mid-range hit rates break the pooled-RDD occupancy balance by up
+#: to 12 pts, and the declared budget is a contract over workloads the
+#: model claims to handle, not a claim of universality.
+BENCHMARKS = (
+    "403.gcc",
+    "429.mcf",
+    "450.soplex",
+    "462.libquantum",
+    "470.lbm",
+    "482.sphinx3",
+    "483.xalancbmk.2",
+)
+
+#: Declared (num_sets, ways) geometries — 2 to 16 ways, 16 to 256 sets.
+GEOMETRIES = (
+    (16, 2),
+    (16, 4),
+    (32, 4),
+    (64, 8),
+    (64, 16),
+    (128, 8),
+    (256, 16),
+)
+
+#: Trace length of every cross-validation cell.
+LENGTH = 20_000
+
+#: PD grid step for the sweep (coarser than the production default of 4
+#: to keep the simulation side cheap; both sides share the same grid).
+PD_STEP = 16
+
+#: Largest candidate protecting distance.
+PD_MAX = 256
+
+#: Error budget: mean absolute hit-rate error, percentage points.
+BUDGET_MEAN_PTS = 2.0
+
+#: Error budget: max absolute hit-rate error, percentage points.
+BUDGET_MAX_PTS = 5.0
+
+#: Best-PD tie tolerance: a predicted best PD whose *simulated* hit rate
+#: is within this many points of the empirical best passes even when it
+#: sits more than one grid step away (flat-curve argmax noise).
+BUDGET_TIE_PTS = 0.5
+
+
+def run_xval(
+    benchmarks=BENCHMARKS,
+    geometries=GEOMETRIES,
+    length: int = LENGTH,
+    pd_step: int = PD_STEP,
+    pd_max: int = PD_MAX,
+    variant: str = "default",
+    engine: str = "vector",
+) -> list[dict]:
+    """Run the comparison grid; one result row per (benchmark, geometry).
+
+    Each row carries the shared PD grid, both hit-rate curves
+    (``predicted``/``simulated``, index-aligned with ``pds``), the
+    per-point absolute errors in percentage points, and the two best-PD
+    verdict ingredients (``best_pd_pred``/``best_pd_sim`` plus
+    ``tie_gap_pts``, the simulated cost of acting on the prediction).
+    """
+    sets = sorted({s for s, _ in geometries})
+    ways = sorted({w for _, w in geometries})
+    rows: list[dict] = []
+    for benchmark in benchmarks:
+        trace = make_benchmark_trace(benchmark, length=length)
+        result = explore(
+            trace,
+            sets=sets,
+            ways=ways,
+            pd_max=pd_max,
+            pd_step=pd_step,
+            model_variant=variant,
+        )
+        for num_sets, way_count in geometries:
+            prediction = result.prediction_for(num_sets, way_count)
+            pds = pd_grid(way_count, d_max=pd_max, step=pd_step)
+            assert prediction is not None and prediction.pds == pds
+            geometry = CacheGeometry(
+                num_sets=num_sets, ways=way_count, line_size=64
+            )
+            sim = sweep_static_pd(
+                trace, geometry, pds, bypass=True, engine=engine
+            )
+            simulated = [sim[pd].hit_rate for pd in pds]
+            errors = [
+                abs(p - s) * 100.0
+                for p, s in zip(prediction.hit_rates, simulated)
+            ]
+            best_sim = max(simulated)
+            tie_gap = (
+                best_sim - simulated[pds.index(prediction.best_pd)]
+            ) * 100.0
+            rows.append(
+                {
+                    "benchmark": benchmark,
+                    "num_sets": num_sets,
+                    "ways": way_count,
+                    "pds": pds,
+                    "predicted": list(prediction.hit_rates),
+                    "simulated": simulated,
+                    "errors": errors,
+                    "mean_error": sum(errors) / len(errors),
+                    "max_error": max(errors),
+                    "best_pd_pred": prediction.best_pd,
+                    "best_pd_sim": pds[simulated.index(best_sim)],
+                    "tie_gap_pts": tie_gap,
+                }
+            )
+    return rows
+
+
+def check_budget(
+    rows: list[dict],
+    mean_pts: float = BUDGET_MEAN_PTS,
+    max_pts: float = BUDGET_MAX_PTS,
+    tie_pts: float = BUDGET_TIE_PTS,
+) -> list[str]:
+    """Hold comparison rows to the budget; returns located violations.
+
+    The mean budget applies to the whole grid; the max and best-PD
+    checks are per (benchmark, geometry) cell so a violation names the
+    exact cell that drifted. An empty return means the gate passes.
+    """
+    violations: list[str] = []
+    all_errors = [error for row in rows for error in row["errors"]]
+    if not all_errors:
+        return ["no comparison points — empty grid?"]
+    mean = sum(all_errors) / len(all_errors)
+    if mean > mean_pts:
+        violations.append(
+            f"grid mean abs error {mean:.2f} pts exceeds budget {mean_pts} pts"
+        )
+    for row in rows:
+        cell = f"{row['benchmark']} {row['num_sets']}x{row['ways']}"
+        if row["max_error"] > max_pts:
+            worst = row["errors"].index(row["max_error"])
+            violations.append(
+                f"{cell}: max abs error {row['max_error']:.2f} pts at "
+                f"pd={row['pds'][worst]} exceeds budget {max_pts} pts "
+                f"(predicted {row['predicted'][worst]:.4f}, "
+                f"simulated {row['simulated'][worst]:.4f})"
+            )
+        step = grid_step(row["pds"])
+        off_grid = abs(row["best_pd_pred"] - row["best_pd_sim"]) > step
+        if off_grid and row["tie_gap_pts"] > tie_pts:
+            violations.append(
+                f"{cell}: predicted best pd {row['best_pd_pred']} is more "
+                f"than one grid step from empirical best "
+                f"{row['best_pd_sim']} and costs {row['tie_gap_pts']:.2f} "
+                f"pts of simulated hit rate (tie tolerance {tie_pts} pts)"
+            )
+    return violations
+
+
+def render_markdown(rows: list[dict], violations: list[str]) -> str:
+    """The per-geometry error table CI uploads as an artifact."""
+    all_errors = [error for row in rows for error in row["errors"]]
+    mean = sum(all_errors) / len(all_errors) if all_errors else 0.0
+    worst = max((row["max_error"] for row in rows), default=0.0)
+    lines = [
+        "# Explorer cross-validation",
+        "",
+        f"{len(rows)} cells, {len(all_errors)} (geometry, PD) points; "
+        f"grid mean abs error **{mean:.2f} pts** "
+        f"(budget {BUDGET_MEAN_PTS}), worst cell max **{worst:.2f} pts** "
+        f"(budget {BUDGET_MAX_PTS}).",
+        "",
+        "| benchmark | sets | ways | mean err (pts) | max err (pts) "
+        "| best PD pred | best PD sim | tie gap (pts) |",
+        "|:----------|-----:|-----:|---------------:|--------------:"
+        "|-------------:|------------:|--------------:|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['benchmark']} | {row['num_sets']} | {row['ways']} "
+            f"| {row['mean_error']:.2f} | {row['max_error']:.2f} "
+            f"| {row['best_pd_pred']} | {row['best_pd_sim']} "
+            f"| {row['tie_gap_pts']:.2f} |"
+        )
+    lines.append("")
+    if violations:
+        lines.append(f"## {len(violations)} budget violation(s)")
+        lines.append("")
+        lines += [f"- {violation}" for violation in violations]
+    else:
+        lines.append("All cells within budget.")
+    return "\n".join(lines) + "\n"
+
+
+def _parse_geometries(text: str) -> tuple:
+    """Parse ``"64x4,256x16"`` into ((64, 4), (256, 16))."""
+    geometries = []
+    for token in text.split(","):
+        num_sets, _, ways = token.strip().partition("x")
+        geometries.append((int(num_sets), int(ways)))
+    return tuple(geometries)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        description="Cross-validate the analytical explorer against the "
+        "simulator and enforce the declared error budget."
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=",".join(BENCHMARKS),
+        help="comma-separated benchmark names",
+    )
+    parser.add_argument(
+        "--geometries",
+        default=",".join(f"{s}x{w}" for s, w in GEOMETRIES),
+        help='comma-separated geometries, e.g. "64x4,256x16"',
+    )
+    parser.add_argument("--length", type=int, default=LENGTH)
+    parser.add_argument("--pd-step", type=int, default=PD_STEP)
+    parser.add_argument("--pd-max", type=int, default=PD_MAX)
+    parser.add_argument(
+        "--variant",
+        default="default",
+        help="model variant to validate (the broken variants must fail)",
+    )
+    parser.add_argument("--engine", default="vector")
+    parser.add_argument(
+        "--out", default=None, help="write the markdown report here"
+    )
+    args = parser.parse_args(argv)
+    rows = run_xval(
+        benchmarks=tuple(b.strip() for b in args.benchmarks.split(",")),
+        geometries=_parse_geometries(args.geometries),
+        length=args.length,
+        pd_step=args.pd_step,
+        pd_max=args.pd_max,
+        variant=args.variant,
+        engine=args.engine,
+    )
+    violations = check_budget(rows)
+    report = render_markdown(rows, violations)
+    print(report)
+    if args.out:
+        Path(args.out).write_text(report)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
