@@ -605,16 +605,27 @@ def _cmd_jobs(args) -> int:
         print("no jobs", file=sys.stderr)
         return 0
     print(f"{'JOB':32s} {'STATE':9s} {'NS':10s} {'KIND':10s} "
-          f"{'CELLS':>5s} {'SKIP':>5s} {'RAN':>5s} SUBMITTED")
+          f"{'CELLS':>5s} {'SKIP':>5s} {'RAN':>5s} "
+          f"{'WAIT':>8s} {'RUN':>8s} SUBMITTED")
     for job in jobs:
         spec = job.get("spec", {})
         print(
             f"{job['job_id']:32s} {job['state']:9s} "
             f"{spec.get('namespace', '?'):10s} {spec.get('kind', '?'):10s} "
             f"{job['total_cells']:5d} {job['skipped_cells']:5d} "
-            f"{job['ran_cells']:5d} {job['submitted_at']}"
+            f"{job['ran_cells']:5d} "
+            f"{_format_latency(job.get('queue_wait_s')):>8s} "
+            f"{_format_latency(job.get('runtime_s')):>8s} "
+            f"{job['submitted_at']}"
         )
     return 0
+
+
+def _format_latency(seconds) -> str:
+    """Human-width seconds column: '-' when unknown, '12.3s' otherwise."""
+    if seconds is None:
+        return "-"
+    return f"{seconds:.1f}s"
 
 
 def _cmd_watch(args) -> int:
@@ -626,6 +637,114 @@ def _cmd_watch(args) -> int:
     except (ProtocolError, OSError) as exc:
         print(f"watch failed: {exc}", file=sys.stderr)
         return 1
+
+
+def _render_stats(stats: dict) -> str:
+    """One dashboard frame from a ``stats`` verb payload.
+
+    Queue depth, jobs by state, the running job/cell, resume-skip
+    counter, then a percentile table for every latency histogram the
+    daemon has observed so far.
+    """
+    lines = ["repro top — sweep service"]
+    lines.append(f"  queue depth : {stats.get('queue_depth', 0)}")
+    by_state = stats.get("jobs_by_state", {})
+    states = " ".join(
+        f"{state}={count}" for state, count in sorted(by_state.items())
+    ) or "(none)"
+    lines.append(f"  jobs        : {states}")
+    running = stats.get("running") or "-"
+    cell = stats.get("running_cell") or "-"
+    lines.append(f"  running     : {running}  cell={cell}")
+    lines.append(f"  skipped     : {stats.get('skipped_cells_total', 0)} cells resumed from manifests")
+    percentiles = stats.get("percentiles", {})
+    if percentiles:
+        lines.append("")
+        lines.append(f"  {'histogram':28s} {'count':>7s} {'mean':>9s} "
+                     f"{'p50':>9s} {'p90':>9s} {'p99':>9s}")
+        for name in sorted(percentiles):
+            row = percentiles[name]
+
+            def _cell(value) -> str:
+                return "-" if value is None else f"{value:.4f}s"
+
+            lines.append(
+                f"  {name:28s} {row.get('count', 0):7d} "
+                f"{_cell(row.get('mean')):>9s} {_cell(row.get('p50')):>9s} "
+                f"{_cell(row.get('p90')):>9s} {_cell(row.get('p99')):>9s}"
+            )
+    else:
+        lines.append("  (no latency histograms yet)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args) -> int:
+    import time
+
+    from repro.service.protocol import ProtocolError, ServiceClient, service_socket
+
+    socket_path = service_socket(_service_root(args))
+    while True:
+        try:
+            with ServiceClient(socket_path) as client:
+                stats = client.stats()
+        except (ProtocolError, OSError) as exc:
+            print(f"top failed: {exc}", file=sys.stderr)
+            return 1
+        if not args.once:
+            # Clear screen + home cursor so each frame overwrites the last.
+            print("\x1b[2J\x1b[H", end="")
+        print(_render_stats(stats))
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+def _cmd_obs_scrape(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.metrics import render_prometheus
+    from repro.service.protocol import ProtocolError, ServiceClient, service_socket
+
+    try:
+        with ServiceClient(service_socket(_service_root(args))) as client:
+            stats = client.stats()
+    except (ProtocolError, OSError) as exc:
+        print(f"scrape failed: {exc}", file=sys.stderr)
+        return 1
+    if args.prom:
+        text = render_prometheus(stats.get("metrics", {}))
+    else:
+        text = json.dumps(stats.get("metrics", {}), indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"[written to {args.out}]", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_obs_trace(args) -> int:
+    from pathlib import Path
+
+    from repro.obs.spans import SPANS_FILENAME, read_spans, render_span_tree
+
+    path = Path(args.directory)
+    if path.is_dir():
+        path = path / SPANS_FILENAME
+    if not path.exists():
+        print(f"no span log at {path}", file=sys.stderr)
+        return 1
+    spans = read_spans(path)
+    if not spans:
+        print(f"span log {path} is empty", file=sys.stderr)
+        return 1
+    print(render_span_tree(spans))
+    return 0
 
 
 def _cmd_trace_convert(args) -> int:
@@ -1078,6 +1197,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     watch.set_defaults(func=_cmd_watch)
 
+    top = sub.add_parser(
+        "top", help="live dashboard of the daemon's queue and latencies"
+    )
+    _add_root(top)
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
+    top.set_defaults(func=_cmd_top)
+
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
     summarize = obs_sub.add_parser(
@@ -1123,6 +1259,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the record to this JSONL trajectory file",
     )
     bench.set_defaults(func=_cmd_obs_bench)
+    scrape = obs_sub.add_parser(
+        "scrape",
+        help="fetch the daemon's live metrics snapshot (JSON by default, "
+        "Prometheus text exposition with --prom)",
+    )
+    _add_root(scrape)
+    scrape.add_argument(
+        "--prom",
+        action="store_true",
+        help="render Prometheus text exposition instead of JSON",
+    )
+    scrape.add_argument("--out", default=None, help="write output to this path")
+    scrape.set_defaults(func=_cmd_obs_scrape)
+    obs_trace = obs_sub.add_parser(
+        "trace",
+        help="render the span tree of a sweep directory's spans.jsonl "
+        "with the critical path highlighted",
+    )
+    obs_trace.add_argument(
+        "directory", help="sweep/manifest directory (or spans.jsonl path)"
+    )
+    obs_trace.set_defaults(func=_cmd_obs_trace)
     return parser
 
 

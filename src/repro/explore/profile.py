@@ -26,10 +26,12 @@ working-set footprint any reuse-distance analysis needs).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
 from repro.obs.manifest import FingerprintAccumulator
+from repro.obs.metrics import METRICS
 from repro.traces.stream import as_stream
 
 #: Default cap on profiled global reuse distances (larger distances land
@@ -214,7 +216,11 @@ def profile_trace(
     reuses: list[int] = []
     position = 0
     overflow = d_max + 1
+    # Per-chunk latency gating: one enabled test and at most one
+    # histogram observation per chunk keeps the disabled path free.
+    observe_chunks = METRICS.enabled
     for chunk in stream.chunks():
+        chunk_start = perf_counter() if observe_chunks else 0.0
         accumulator.update(chunk)
         addresses = chunk.addresses
         np.add.at(acc_per_set, addresses % max_sets, 1)
@@ -230,6 +236,8 @@ def profile_trace(
                 reuses[block_index[addr]] += 1
             last_pos[addr] = position
             position += 1
+        if observe_chunks:
+            METRICS.observe("explore.profile_chunk_s", perf_counter() - chunk_start)
     addrs = np.fromiter(block_index.keys(), dtype=np.int64, count=len(block_index))
     return TraceProfile(
         name=stream.name,

@@ -66,6 +66,7 @@ import numpy as np
 from repro.core.pdp_policy import PDPPolicy
 from repro.memory.cache import SetAssociativeCache, log2_int
 from repro.memory.fastpath import run_trace
+from repro.obs.metrics import METRICS
 from repro.obs.telemetry import TELEMETRY
 from repro.policies.fifo import FIFOPolicy
 from repro.policies.lru import LRUPolicy, MRUPolicy
@@ -144,7 +145,8 @@ class _SetBatchKernel:
         n = len(trace)
         if n == 0:
             return
-        telemetry_start = perf_counter() if TELEMETRY.enabled else 0.0
+        obs_enabled = TELEMETRY.enabled or METRICS.enabled
+        telemetry_start = perf_counter() if obs_enabled else 0.0
         addresses = trace.addresses
         set_ids = addresses & self.set_mask
         tags = addresses >> self.set_shift
@@ -165,9 +167,12 @@ class _SetBatchKernel:
         stats.evictions += self.evictions
         stats.fills += misses - self.bypasses
         self._sync()
-        if TELEMETRY.enabled:
-            TELEMETRY.record("columnar.run_trace", perf_counter() - telemetry_start)
+        if obs_enabled:
+            elapsed = perf_counter() - telemetry_start
+            TELEMETRY.record("columnar.run_trace", elapsed)
             TELEMETRY.count("columnar.accesses", n)
+            METRICS.observe("columnar.run_trace_s", elapsed)
+            METRICS.inc("columnar.accesses", n)
 
     def _drive(self, set_ids, tags, tids, lo, hi, set_order) -> None:
         """Replay accesses ``[lo, hi)``; one segment for static policies

@@ -38,6 +38,7 @@ from time import perf_counter
 import numpy as np
 
 from repro.memory.cache import log2_int
+from repro.obs.metrics import METRICS
 from repro.obs.telemetry import TELEMETRY
 from repro.policies.base import ReplacementPolicy
 from repro.types import AccessType
@@ -85,8 +86,11 @@ def run_trace(cache, trace) -> None:
     ``fastpath.run_trace`` timer entry and a ``fastpath.accesses``
     counter per call — the check is per *run*, so the disabled mode adds
     no per-access work (the 2%-overhead budget of BENCH_engine.json).
+    The live metrics registry gets the same pair (an access counter and
+    a run-time histogram observation) under the same per-run gating.
     """
-    telemetry_start = perf_counter() if TELEMETRY.enabled else 0.0
+    obs_enabled = TELEMETRY.enabled or METRICS.enabled
+    telemetry_start = perf_counter() if obs_enabled else 0.0
     geometry = cache.geometry
     num_sets = geometry.num_sets
     set_mask = num_sets - 1
@@ -264,9 +268,12 @@ def run_trace(cache, trace) -> None:
     stats.bypasses += bypasses
     stats.evictions += evictions
     stats.fills += misses - bypasses
-    if TELEMETRY.enabled:
-        TELEMETRY.record("fastpath.run_trace", perf_counter() - telemetry_start)
+    if obs_enabled:
+        elapsed = perf_counter() - telemetry_start
+        TELEMETRY.record("fastpath.run_trace", elapsed)
         TELEMETRY.count("fastpath.accesses", n)
+        METRICS.observe("fastpath.run_trace_s", elapsed)
+        METRICS.inc("fastpath.accesses", n)
 
 
 def run_shared_trace(
@@ -299,7 +306,8 @@ def run_shared_trace(
     reference loop. Telemetry follows the :func:`run_trace` contract
     (one ``fastpath.run_shared_trace`` timer entry per call).
     """
-    telemetry_start = perf_counter() if TELEMETRY.enabled else 0.0
+    obs_enabled = TELEMETRY.enabled or METRICS.enabled
+    telemetry_start = perf_counter() if obs_enabled else 0.0
     geometry = cache.geometry
     num_sets = geometry.num_sets
     set_mask = num_sets - 1
@@ -425,11 +433,12 @@ def run_shared_trace(
     stats.bypasses += bypasses
     stats.evictions += evictions
     stats.fills += misses - bypasses
-    if TELEMETRY.enabled:
-        TELEMETRY.record(
-            "fastpath.run_shared_trace", perf_counter() - telemetry_start
-        )
+    if obs_enabled:
+        elapsed = perf_counter() - telemetry_start
+        TELEMETRY.record("fastpath.run_shared_trace", elapsed)
         TELEMETRY.count("fastpath.accesses", n)
+        METRICS.observe("fastpath.run_shared_trace_s", elapsed)
+        METRICS.inc("fastpath.accesses", n)
     return [t_accesses, t_hits, t_misses, t_bypasses]
 
 

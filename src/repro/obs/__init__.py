@@ -5,6 +5,14 @@ reproducible after it finishes:
 
 - :mod:`repro.obs.telemetry` — named counters and wall-time spans with a
   near-zero-overhead disabled mode, safe to leave in hot kernels.
+- :mod:`repro.obs.metrics` — live counters, gauges, and log2-bucket
+  latency histograms (p50/p90/p99 estimation) with the same disabled
+  path and snapshot/merge contract, plus a dependency-free Prometheus
+  text-exposition renderer; the sweep daemon serves these via the
+  ``stats`` verb.
+- :mod:`repro.obs.spans` — hierarchical wall-time spans (trace/span/
+  parent ids via contextvars) persisted to ``spans.jsonl``, rendered as
+  a critical-path-marked tree by ``repro obs trace``.
 - :mod:`repro.obs.manifest` — per-run JSON provenance records (config,
   policy, engine, seed, trace fingerprint, git SHA, timing, statistics,
   failures), written atomically and round-trippable via
@@ -59,6 +67,14 @@ from repro.obs.manifest import (
     summarize_manifests,
     trace_fingerprint,
 )
+from repro.obs.metrics import (
+    METRICS,
+    MetricsRegistry,
+    get_metrics,
+    histogram_percentiles,
+    histogram_quantile,
+    render_prometheus,
+)
 from repro.obs.progress import (
     ProgressEvent,
     ProgressReporter,
@@ -72,13 +88,24 @@ from repro.obs.telemetry import (
     get_telemetry,
     set_enabled,
 )
+from repro.obs.spans import (
+    SPANS_FILENAME,
+    SpanTracer,
+    read_spans,
+    render_span_tree,
+)
 from repro.obs.timeseries import (
     TIMESERIES_SCHEMA_VERSION,
     Window,
     WindowedRecorder,
     windows_from_payload,
 )
-from repro.obs.trace_log import EVENTS_FILENAME, TraceLog, read_events
+from repro.obs.trace_log import (
+    EVENTS_FILENAME,
+    TraceLog,
+    read_events,
+    read_jsonl,
+)
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -86,9 +113,13 @@ __all__ = [
     "ENV_TELEMETRY",
     "EVENTS_FILENAME",
     "MANIFEST_SCHEMA_VERSION",
+    "METRICS",
     "Manifest",
     "ManifestLoadReport",
+    "MetricsRegistry",
+    "SPANS_FILENAME",
     "SkippedManifest",
+    "SpanTracer",
     "TIMESERIES_SCHEMA_VERSION",
     "Window",
     "WindowedRecorder",
@@ -103,16 +134,23 @@ __all__ = [
     "compare_records",
     "console_reporter",
     "fingerprint_source",
+    "get_metrics",
     "get_telemetry",
     "git_sha",
+    "histogram_percentiles",
+    "histogram_quantile",
     "load_manifests",
     "scan_manifests",
     "migrate_record",
     "new_run_id",
     "print_event",
     "read_events",
+    "read_jsonl",
+    "read_spans",
     "read_trajectory",
+    "render_prometheus",
     "render_report",
+    "render_span_tree",
     "resolve_manifest_dir",
     "set_enabled",
     "sparkline",

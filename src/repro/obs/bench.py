@@ -304,6 +304,47 @@ def _window_plots(manifest) -> list[str]:
     return lines
 
 
+def _metrics_sections(manifests: list) -> list[str]:
+    """Cell-latency percentile tables from sweep-manifest metrics blocks.
+
+    A sweep manifest written while the live metrics registry was enabled
+    embeds a registry snapshot in its ``metrics`` field; this renders
+    each one's latency histograms (``grid.cell_runtime_s`` and friends)
+    as a count/mean/p50/p90/p99/max table — post-hoc access to the same
+    numbers the daemon's ``stats`` verb serves live.
+    """
+    from repro.obs.metrics import histogram_percentiles
+
+    lines: list[str] = []
+    for manifest in manifests:
+        if manifest.kind not in ("matrix", "mix_matrix"):
+            continue
+        histograms = (manifest.metrics or {}).get("histograms") or {}
+        if not histograms:
+            continue
+        lines += [
+            "",
+            f"## Cell latency percentiles — {manifest.kind} "
+            f"{manifest.workload} ({manifest.run_id})",
+            "",
+            "| histogram | count | mean | p50 | p90 | p99 | max |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for name in sorted(histograms):
+            payload = histograms[name]
+            summary = histogram_percentiles(payload)
+
+            def _fmt(value) -> str:
+                return "-" if value is None else f"{value:.4f}s"
+
+            lines.append(
+                f"| {name} | {summary['count']} | {_fmt(summary['mean'])} "
+                f"| {_fmt(summary['p50'])} | {_fmt(summary['p90'])} "
+                f"| {_fmt(summary['p99'])} | {_fmt(payload.get('max'))} |"
+            )
+    return lines
+
+
 def _trajectory_section(manifest_dir: Path) -> list[str]:
     """Markdown lines for a trajectory file sitting in the manifest dir
     (or the repo-root one when the directory has none); [] when absent."""
@@ -438,7 +479,9 @@ def render_report(
     Built from the manifests alone (no re-simulation): the summary
     table of :func:`repro.obs.manifest.summarize_manifests`, per-explore
     frontier tables with prediction-vs-simulation error rows for every
-    static-PD cell sharing the explore's trace fingerprint, per-run
+    static-PD cell sharing the explore's trace fingerprint, cell-latency
+    percentile tables for sweep manifests carrying a live-metrics
+    snapshot, per-run
     sparkline plots of recorded windows (hit rate, byte hit rate for
     software-cache runs, PD, protected lines, evictions), and — when a trajectory file is present — per-key
     throughput history. ``html=True`` wraps the markdown in a minimal
@@ -449,6 +492,7 @@ def render_report(
     lines = [f"# Simulation report — {directory}", ""]
     lines.append(summarize_manifests(manifests))
     lines += _explore_sections(manifests)
+    lines += _metrics_sections(manifests)
     plotted = [m for m in manifests if m.timeseries.get("windows")]
     if plotted:
         lines += ["", f"## Window plots ({len(plotted)} recorded runs)", ""]

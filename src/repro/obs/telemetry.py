@@ -74,7 +74,8 @@ class Telemetry:
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
         self.counters: dict[str, int] = {}
-        self.timers: dict[str, list] = {}  # name -> [calls, total_seconds]
+        # name -> [calls, total_seconds, min_seconds, max_seconds]
+        self.timers: dict[str, list] = {}
 
     def enable(self) -> None:
         """Turn recording on."""
@@ -96,15 +97,24 @@ class Telemetry:
         self.counters[name] = self.counters.get(name, 0) + amount
 
     def record(self, name: str, seconds: float) -> None:
-        """Add one timed call of ``seconds`` to timer ``name``."""
+        """Add one timed call of ``seconds`` to timer ``name``.
+
+        Besides call count and total, each timer tracks the fastest and
+        slowest single call, so snapshots bound tail latency even
+        without a full histogram.
+        """
         if not self.enabled:
             return
         timer = self.timers.get(name)
         if timer is None:
-            self.timers[name] = [1, seconds]
+            self.timers[name] = [1, seconds, seconds, seconds]
         else:
             timer[0] += 1
             timer[1] += seconds
+            if seconds < timer[2]:
+                timer[2] = seconds
+            if seconds > timer[3]:
+                timer[3] = seconds
 
     def span(self, name: str):
         """A context manager timing its body into timer ``name``.
@@ -119,13 +129,19 @@ class Telemetry:
     def snapshot(self) -> dict:
         """A JSON-ready copy: ``{"counters": ..., "timers": ...}``.
 
-        Timers serialize as ``{name: {"calls": n, "total_s": seconds}}``.
+        Timers serialize as ``{name: {"calls": n, "total_s": seconds,
+        "min_s": fastest, "max_s": slowest}}``.
         """
         return {
             "counters": dict(self.counters),
             "timers": {
-                name: {"calls": calls, "total_s": total}
-                for name, (calls, total) in self.timers.items()
+                name: {
+                    "calls": calls,
+                    "total_s": total,
+                    "min_s": lo,
+                    "max_s": hi,
+                }
+                for name, (calls, total, lo, hi) in self.timers.items()
             },
         }
 
@@ -142,12 +158,21 @@ class Telemetry:
         for name, amount in snapshot.get("counters", {}).items():
             self.counters[name] = self.counters.get(name, 0) + amount
         for name, timer in snapshot.get("timers", {}).items():
+            # Pre-min/max snapshots carry only calls/total; fall back to
+            # the mean so merged bounds stay conservative, not wrong.
+            mean = timer["total_s"] / timer["calls"] if timer["calls"] else 0.0
+            lo = timer.get("min_s", mean)
+            hi = timer.get("max_s", mean)
             mine = self.timers.get(name)
             if mine is None:
-                self.timers[name] = [timer["calls"], timer["total_s"]]
+                self.timers[name] = [timer["calls"], timer["total_s"], lo, hi]
             else:
                 mine[0] += timer["calls"]
                 mine[1] += timer["total_s"]
+                if lo < mine[2]:
+                    mine[2] = lo
+                if hi > mine[3]:
+                    mine[3] = hi
 
 
 #: Default process-wide telemetry sink used by the simulation stack.

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 
@@ -71,15 +72,42 @@ class TraceLog:
         return False
 
 
-def read_events(path: str | os.PathLike) -> list[dict]:
-    """Parse a JSONL event log back into dicts (blank lines skipped)."""
-    events = []
+def read_jsonl(path: str | os.PathLike, what: str = "event log") -> list[dict]:
+    """Parse a JSONL file into dicts, tolerating a torn final line.
+
+    A process killed mid-append (SIGKILL between ``write`` and the
+    buffer reaching disk) can leave a truncated last line; that is
+    expected wreckage, not corruption, so it is skipped with a single
+    :class:`RuntimeWarning` naming the file. An unparseable line
+    *before* the end still raises ``json.JSONDecodeError`` — mid-file
+    damage means the log cannot be trusted and should be surfaced.
+    """
+    records = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                events.append(json.loads(line))
-    return events
+        lines = [line.strip() for line in fh]
+    lines = [(number, line) for number, line in enumerate(lines, 1) if line]
+    for position, (number, line) in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position == len(lines) - 1:
+                warnings.warn(
+                    f"skipping torn final line {number} of {what} {path} "
+                    "(writer was likely killed mid-append)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise
+    return records
 
 
-__all__ = ["EVENTS_FILENAME", "TraceLog", "read_events"]
+def read_events(path: str | os.PathLike) -> list[dict]:
+    """Parse a JSONL event log back into dicts (blank lines skipped).
+
+    Tolerates a torn final line — see :func:`read_jsonl`.
+    """
+    return read_jsonl(path, what="event log")
+
+
+__all__ = ["EVENTS_FILENAME", "TraceLog", "read_events", "read_jsonl"]

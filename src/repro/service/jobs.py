@@ -328,7 +328,13 @@ def spec_geometry(spec: SweepSpec):
 
 @dataclass
 class JobRecord:
-    """One submitted sweep job and its lifecycle bookkeeping."""
+    """One submitted sweep job and its lifecycle bookkeeping.
+
+    ``queue_wait_s`` (submit to start) and ``runtime_s`` (start to
+    finish) are filled by the daemon as the job moves through its
+    lifecycle; ``repro jobs`` surfaces them as WAIT/RUN columns and the
+    daemon's ``stats`` verb aggregates them into latency histograms.
+    """
 
     job_id: str
     spec: SweepSpec
@@ -342,6 +348,8 @@ class JobRecord:
     failed_cells: int = 0
     interrupted: bool = False
     error: str | None = None
+    queue_wait_s: float | None = None
+    runtime_s: float | None = None
 
     @classmethod
     def new(cls, spec: SweepSpec) -> "JobRecord":

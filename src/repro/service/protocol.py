@@ -14,6 +14,7 @@ Requests carry an ``op`` field::
     {"op": "submit", "spec": {...SweepSpec...}}
     {"op": "jobs"}
     {"op": "watch", "job_id": "...", "replay": true}
+    {"op": "stats"}
     {"op": "shutdown"}
 
 Responses carry ``ok`` (boolean) plus op-specific payload; failures are
@@ -22,6 +23,13 @@ the server emits ``{"ok": true, "event": {...}}`` lines (each event a
 JSON-ified :class:`repro.obs.progress.ProgressEvent` or job lifecycle
 record) and terminates the stream with ``{"ok": true, "done": {...job
 record...}}``.
+
+``stats`` is the live-introspection op: one request returns the
+daemon's queue depth, jobs-by-state counts, the currently running job
+and cell, resume-skip totals, p50/p90/p99 summaries of every latency
+histogram, and the full :class:`repro.obs.metrics.MetricsRegistry`
+snapshot — what ``repro top`` renders and ``repro obs scrape --prom``
+serializes for Prometheus.
 
 :class:`ServiceClient` is the synchronous client used by the CLI
 (``repro submit`` / ``jobs`` / ``watch``) and tests; the async helpers
@@ -214,6 +222,12 @@ class ServiceClient:
     def watch(self, job_id: str, replay: bool = True) -> Iterator[dict]:
         """Stream a job's progress events; final item carries ``done``."""
         return self.stream({"op": "watch", "job_id": job_id, "replay": replay})
+
+    def stats(self) -> dict:
+        """Live service introspection: queue depth, jobs-by-state, the
+        running job/cell, latency percentiles, and the full metrics
+        snapshot."""
+        return self.request({"op": "stats"})
 
     def shutdown(self) -> dict:
         """Ask an idle server to stop accepting work and exit."""

@@ -43,7 +43,9 @@ from repro.obs.manifest import (
     trace_fingerprint,
 )
 from repro.obs.manifest import git_sha as _git_sha
+from repro.obs.metrics import METRICS
 from repro.obs.progress import ProgressEvent, ProgressReporter
+from repro.obs.spans import SpanTracer
 from repro.obs.trace_log import EVENTS_FILENAME, TraceLog
 from repro.sim.multi_core import MultiCoreResult, ThreadOutcome
 from repro.sim.parallel import run_matrix, run_mix_matrix
@@ -207,6 +209,7 @@ def _emit_skip_events(
     """
     if not plan.skipped:
         return
+    METRICS.inc("scheduler.cells_skipped", len(plan.skipped))
     log = (
         TraceLog(Path(manifest_dir) / EVENTS_FILENAME)
         if manifest_dir is not None
@@ -335,34 +338,49 @@ def run_resumable_matrix(
     ``pd_history`` exist only on freshly run cells).
 
     Returns ``(results, plan)``.
+
+    With a manifest directory (always, here) the phases are traced to
+    ``spans.jsonl``: a ``job`` root span wrapping a ``resume-scan`` span
+    (manifest matching + skip events) and a ``run-grid`` span under
+    which ``run_matrix`` nests its own grid/cell spans — `repro obs
+    trace <dir>` shows where a resumed sweep's wall time went.
     """
-    report = check_resume_substrate(manifest_dir, force=force)
-    fingerprint = fingerprint_source(trace)
-    plan = plan_matrix_resume(
-        report.manifests,
-        list(factories),
-        trace.name,
-        fingerprint,
-        geometry,
-        engine,
-        window_size=window_size,
-        match_git_sha=match_git_sha,
-    )
-    _emit_skip_events(plan, manifest_dir, on_event)
-    fresh: dict = {}
-    if plan.to_run:
-        remaining = {key: factories[key] for key in plan.to_run}
-        fresh = run_matrix(
-            trace,
-            remaining,
-            geometry,
-            timing=timing,
-            max_workers=max_workers,
-            engine=engine,
-            manifest_dir=manifest_dir,
-            on_event=on_event,
-            window_size=window_size,
-        )
+    tracer = SpanTracer.for_dir(manifest_dir)
+    try:
+        with tracer.span("job", kind="matrix", workload=str(trace.name)):
+            with tracer.span("resume-scan") as scan_span:
+                report = check_resume_substrate(manifest_dir, force=force)
+                fingerprint = fingerprint_source(trace)
+                plan = plan_matrix_resume(
+                    report.manifests,
+                    list(factories),
+                    trace.name,
+                    fingerprint,
+                    geometry,
+                    engine,
+                    window_size=window_size,
+                    match_git_sha=match_git_sha,
+                )
+                _emit_skip_events(plan, manifest_dir, on_event)
+                scan_span.set("skipped", len(plan.skipped))
+                scan_span.set("to_run", len(plan.to_run))
+            fresh: dict = {}
+            if plan.to_run:
+                remaining = {key: factories[key] for key in plan.to_run}
+                with tracer.span("run-grid", cells=len(plan.to_run)):
+                    fresh = run_matrix(
+                        trace,
+                        remaining,
+                        geometry,
+                        timing=timing,
+                        max_workers=max_workers,
+                        engine=engine,
+                        manifest_dir=manifest_dir,
+                        on_event=on_event,
+                        window_size=window_size,
+                    )
+    finally:
+        tracer.close()
     results = {
         key: (plan.skipped[key] if key in plan.skipped else fresh[key])
         for key in factories
@@ -393,63 +411,80 @@ def run_resumable_mix_matrix(
     :func:`~repro.workloads.mixes.interleave_traces` the simulation
     uses. Returns ``(results, plan)``.
     """
-    report = check_resume_substrate(manifest_dir, force=force)
-    mix_fingerprints = {
-        mix_key: trace_fingerprint(interleave_traces(traces)[0])
-        for mix_key, traces in mixes.items()
-    }
-    grid = [(mix_key, policy_key) for mix_key in mixes for policy_key in factories]
-    plan = plan_mix_resume(
-        report.manifests,
-        grid,
-        mix_fingerprints,
-        geometry,
-        engine,
-        match_git_sha=match_git_sha,
-    )
-    _emit_skip_events(plan, manifest_dir, on_event)
-    fresh: dict = {}
-    if plan.to_run:
-        needed_mixes = {mix_key for mix_key, _ in plan.to_run}
-        needed_policies = {policy_key for _, policy_key in plan.to_run}
-        # run_mix_matrix runs full sub-grids; restrict both axes to what
-        # is still missing, then run any leftover odd cells serially.
-        sub_mixes = {k: v for k, v in mixes.items() if k in needed_mixes}
-        sub_factories = {k: v for k, v in factories.items() if k in needed_policies}
-        sub_grid = [(m, p) for m in sub_mixes for p in sub_factories]
-        extra_cells = [key for key in sub_grid if key not in plan.to_run]
-        if not extra_cells:
-            fresh = run_mix_matrix(
-                sub_mixes,
-                sub_factories,
-                geometry,
-                timing=timing,
-                singles=None
-                if singles is None
-                else {k: singles[k] for k in sub_mixes},
-                max_workers=max_workers,
-                engine=engine,
-                manifest_dir=manifest_dir,
-                on_event=on_event,
-            )
-        else:
-            # Ragged remainder (different policies missing per mix): run
-            # each missing cell as its own single-cell grid.
-            for mix_key, policy_key in plan.to_run:
-                cell = run_mix_matrix(
-                    {mix_key: mixes[mix_key]},
-                    {policy_key: factories[policy_key]},
+    tracer = SpanTracer.for_dir(manifest_dir)
+    try:
+        with tracer.span("job", kind="mix_matrix"):
+            with tracer.span("resume-scan") as scan_span:
+                report = check_resume_substrate(manifest_dir, force=force)
+                mix_fingerprints = {
+                    mix_key: trace_fingerprint(interleave_traces(traces)[0])
+                    for mix_key, traces in mixes.items()
+                }
+                grid = [
+                    (mix_key, policy_key)
+                    for mix_key in mixes
+                    for policy_key in factories
+                ]
+                plan = plan_mix_resume(
+                    report.manifests,
+                    grid,
+                    mix_fingerprints,
                     geometry,
-                    timing=timing,
-                    singles=None
-                    if singles is None
-                    else {mix_key: singles[mix_key]},
-                    max_workers=max_workers,
-                    engine=engine,
-                    manifest_dir=manifest_dir,
-                    on_event=on_event,
+                    engine,
+                    match_git_sha=match_git_sha,
                 )
-                fresh.update(cell)
+                _emit_skip_events(plan, manifest_dir, on_event)
+                scan_span.set("skipped", len(plan.skipped))
+                scan_span.set("to_run", len(plan.to_run))
+            fresh: dict = {}
+            if plan.to_run:
+                needed_mixes = {mix_key for mix_key, _ in plan.to_run}
+                needed_policies = {policy_key for _, policy_key in plan.to_run}
+                # run_mix_matrix runs full sub-grids; restrict both axes
+                # to what is still missing, then run any leftover odd
+                # cells serially.
+                sub_mixes = {k: v for k, v in mixes.items() if k in needed_mixes}
+                sub_factories = {
+                    k: v for k, v in factories.items() if k in needed_policies
+                }
+                sub_grid = [(m, p) for m in sub_mixes for p in sub_factories]
+                extra_cells = [key for key in sub_grid if key not in plan.to_run]
+                with tracer.span("run-grid", cells=len(plan.to_run)):
+                    if not extra_cells:
+                        fresh = run_mix_matrix(
+                            sub_mixes,
+                            sub_factories,
+                            geometry,
+                            timing=timing,
+                            singles=None
+                            if singles is None
+                            else {k: singles[k] for k in sub_mixes},
+                            max_workers=max_workers,
+                            engine=engine,
+                            manifest_dir=manifest_dir,
+                            on_event=on_event,
+                        )
+                    else:
+                        # Ragged remainder (different policies missing per
+                        # mix): run each missing cell as its own
+                        # single-cell grid.
+                        for mix_key, policy_key in plan.to_run:
+                            cell = run_mix_matrix(
+                                {mix_key: mixes[mix_key]},
+                                {policy_key: factories[policy_key]},
+                                geometry,
+                                timing=timing,
+                                singles=None
+                                if singles is None
+                                else {mix_key: singles[mix_key]},
+                                max_workers=max_workers,
+                                engine=engine,
+                                manifest_dir=manifest_dir,
+                                on_event=on_event,
+                            )
+                            fresh.update(cell)
+    finally:
+        tracer.close()
     results = {
         key: (plan.skipped[key] if key in plan.skipped else fresh[key])
         for key in grid

@@ -34,8 +34,11 @@ import contextlib
 import os
 import signal
 from dataclasses import asdict
+from datetime import datetime
+from time import perf_counter
 from typing import Callable
 
+from repro.obs.metrics import METRICS, histogram_percentiles
 from repro.service.jobs import JobRecord, JobStore, SpecError, SweepSpec, policy_factories
 from repro.service.protocol import (
     PROTOCOL_VERSION,
@@ -70,6 +73,7 @@ class SweepService:
         self._history: dict[str, list[dict]] = {}
         self._subscribers: dict[str, list[asyncio.Queue]] = {}
         self._current: JobRecord | None = None
+        self._current_cell: str | None = None
         self._server: asyncio.AbstractServer | None = None
         self._worker: asyncio.Task | None = None
         self._stopping = asyncio.Event()
@@ -77,7 +81,19 @@ class SweepService:
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
-        """Recover persisted state, bind the socket, start the worker."""
+        """Recover persisted state, bind the socket, start the worker.
+
+        Also turns on the process-wide metrics registry: a daemon must
+        always be able to answer a ``stats`` request with live queue
+        depth and latency percentiles, regardless of the
+        ``$REPRO_TELEMETRY`` gate library users opt into. Forked pool
+        workers inherit the enabled registry and their per-task
+        snapshots merge back through the grid runners. :meth:`stop`
+        restores the registry's prior enabled state so in-process
+        embedders (tests) don't leak metrics collection.
+        """
+        self._metrics_was_enabled = METRICS.enabled
+        METRICS.enable()
         self.store.ensure_layout()
         for record in self.store.recover():
             self._queue.put_nowait(record.job_id)
@@ -113,6 +129,8 @@ class SweepService:
             self._server = None
         with contextlib.suppress(OSError):
             self.socket_path.unlink()
+        if not getattr(self, "_metrics_was_enabled", True):
+            METRICS.disable()
 
     def _handle_termination(self, signum: int) -> None:
         """SIGTERM/SIGINT: persist in-flight state, exit immediately.
@@ -151,6 +169,9 @@ class SweepService:
         loop = asyncio.get_running_loop()
         record.state = "running"
         record.started_at = utc_now_iso()
+        record.queue_wait_s = self._elapsed_between(
+            record.submitted_at, record.started_at
+        )
         self.store.save(record)
         self._current = record
         self._publish(record.job_id, {"kind": "job-state", "state": "running"})
@@ -160,9 +181,14 @@ class SweepService:
         def on_event(event) -> None:
             if event.kind in counts:
                 counts[event.kind] += 1
+            if event.kind == "started":
+                # Plain attribute write from the worker thread: atomic
+                # under the GIL, read by the `stats` verb on the loop.
+                self._current_cell = event.key
             loop.call_soon_threadsafe(self._publish, record.job_id, asdict(event))
 
         namespace_dir = self.store.namespace_dir(record.spec.namespace)
+        run_started = perf_counter()
         try:
             summary = await asyncio.to_thread(
                 execute_spec, record.spec, namespace_dir, on_event
@@ -175,19 +201,43 @@ class SweepService:
             record.total_cells = summary["total_cells"]
             self._submit_followups(record, summary.get("followups") or [])
         record.finished_at = utc_now_iso()
+        record.runtime_s = perf_counter() - run_started
         record.skipped_cells = counts["skipped"]
         record.ran_cells = counts["finished"]
         record.failed_cells = counts["failed"]
         if record.state == "done" and counts["failed"]:
             record.state = "failed"
             record.error = f"{counts['failed']} cell(s) failed"
+        if record.queue_wait_s is not None:
+            METRICS.observe("service.job_queue_wait_s", record.queue_wait_s)
+        METRICS.observe("service.job_runtime_s", record.runtime_s)
+        METRICS.inc(f"service.jobs_{record.state}")
         self._current = None
+        self._current_cell = None
         self.store.save(record)
         self._publish(
             record.job_id,
             {"kind": "job-state", "state": record.state, "error": record.error},
         )
         self._finish_stream(record.job_id)
+
+    @staticmethod
+    def _elapsed_between(start_iso: str | None, end_iso: str | None) -> float | None:
+        """Seconds between two ISO timestamps, or None when unparsable.
+
+        Job records carry wall-clock ISO strings (they must survive a
+        daemon restart, which a ``perf_counter`` origin would not), so
+        queue wait is derived from them; clock steps can make this
+        slightly off, which is fine for a latency column.
+        """
+        if not start_iso or not end_iso:
+            return None
+        try:
+            start = datetime.fromisoformat(start_iso)
+            end = datetime.fromisoformat(end_iso)
+        except ValueError:
+            return None
+        return max(0.0, (end - start).total_seconds())
 
     def _submit_followups(self, parent: JobRecord, specs: list) -> None:
         """Queue the simulation jobs a predict job asked for.
@@ -291,12 +341,49 @@ class SweepService:
         if op == "watch":
             await self._op_watch(message, writer)
             return False
+        if op == "stats":
+            await write_message(writer, self._stats_payload())
+            return False
         if op == "shutdown":
             await write_message(writer, {"ok": True, "stopping": True})
             self._stopping.set()
             return True
         await write_message(writer, error_response(f"unknown op {op!r}"))
         return False
+
+    def _stats_payload(self) -> dict:
+        """The live ``stats`` response: queue, jobs, latency, metrics.
+
+        Refreshes the registry's service gauges (queue depth, jobs per
+        state) so a Prometheus scrape of the embedded snapshot carries
+        them, then summarizes every histogram into p50/p90/p99 — the
+        cell-level ``grid.cell_runtime_s`` / ``grid.cell_queue_wait_s``
+        and the job-level ``service.job_*`` distributions are the ones
+        ``repro top`` renders.
+        """
+        jobs_by_state: dict[str, int] = {}
+        for record in self.store.list_jobs():
+            jobs_by_state[record.state] = jobs_by_state.get(record.state, 0) + 1
+        METRICS.gauge("service.queue_depth", self._queue.qsize())
+        for state, count in jobs_by_state.items():
+            METRICS.gauge(f"service.jobs_state_{state}", count)
+        snapshot = METRICS.snapshot()
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "queue_depth": self._queue.qsize(),
+            "jobs_by_state": jobs_by_state,
+            "running": None if self._current is None else self._current.job_id,
+            "running_cell": self._current_cell,
+            "skipped_cells_total": snapshot["counters"].get(
+                "scheduler.cells_skipped", 0
+            ),
+            "percentiles": {
+                name: histogram_percentiles(payload)
+                for name, payload in snapshot["histograms"].items()
+            },
+            "metrics": snapshot,
+        }
 
     async def _op_submit(self, message: dict, writer) -> bool:
         """Validate a spec, persist a queued record, enqueue it."""

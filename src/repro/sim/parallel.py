@@ -33,7 +33,13 @@ the driver's ``manifest_dir=`` parameter), the runner appends all
 progress events to ``events.jsonl``, and a sweep-level manifest records
 per-task status — including failed tasks with policy, workload and a
 traceback summary — so a partially failed grid is diagnosable from the
-manifest directory alone.
+manifest directory alone. The runners additionally split each cell's
+wall time into queue wait and in-worker runtime (histograms in the
+process-wide :data:`repro.obs.metrics.METRICS` registry, served live by
+the sweep daemon's ``stats`` verb) and — with a manifest directory —
+write one span per cell under a grid root span to ``spans.jsonl``,
+rendered by ``repro obs trace``; the sweep manifest embeds the metrics
+snapshot when the registry is enabled.
 
 Failure semantics: only *infrastructure* failures fall back to the serial
 path — payload-directory / pool setup errors and a broken pool
@@ -70,7 +76,9 @@ from repro.obs.manifest import (
     trace_fingerprint,
 )
 from repro.obs.manifest import git_sha as _git_sha
+from repro.obs.metrics import METRICS
 from repro.obs.progress import ProgressEvent, ProgressReporter
+from repro.obs.spans import SpanTracer
 from repro.obs.telemetry import TELEMETRY
 from repro.obs.trace_log import EVENTS_FILENAME, TraceLog
 from repro.sim.multi_core import MultiCoreResult, run_shared_llc
@@ -130,20 +138,36 @@ def _load_packed_trace(path: str, as_stream: bool = False) -> Trace | TraceStrea
     return trace
 
 
-def _task_telemetry_begin() -> None:
-    """Start a clean per-task telemetry scope inside a pool worker.
+def _task_obs_begin() -> float:
+    """Start a clean per-task observability scope inside a pool worker.
 
     Workers are reused across tasks (and fork inherits the parent's
     accumulated state), so without a reset each snapshot would bleed the
-    previous tasks' counters into the next result.
+    previous tasks' counters into the next result. Returns the task's
+    ``perf_counter`` start so :func:`_task_obs_finish` can measure the
+    in-worker runtime (the parent subtracts it from dispatch-to-completion
+    wall time to estimate pool queue wait).
     """
     if TELEMETRY.enabled:
         TELEMETRY.reset()
+    if METRICS.enabled:
+        METRICS.reset()
+    return perf_counter()
 
 
-def _task_telemetry_snapshot() -> dict | None:
-    """The worker's telemetry for the task just run, or None when off."""
-    return TELEMETRY.snapshot() if TELEMETRY.enabled else None
+def _task_obs_finish(start: float) -> dict:
+    """The worker's observability payload for the task just run.
+
+    ``{"telemetry": snapshot-or-None, "metrics": snapshot-or-None,
+    "runtime_s": in-worker seconds}`` — shipped back with the result so
+    the parent merges both sinks losslessly and can split wall time into
+    queue wait vs runtime.
+    """
+    return {
+        "telemetry": TELEMETRY.snapshot() if TELEMETRY.enabled else None,
+        "metrics": METRICS.snapshot() if METRICS.enabled else None,
+        "runtime_s": perf_counter() - start,
+    }
 
 
 def _run_packed_task(
@@ -165,7 +189,7 @@ def _run_packed_task(
     manifest) and returns a part dict for :func:`merge_shard_parts`
     instead of a :class:`SingleCoreResult`.
     """
-    _task_telemetry_begin()
+    start = _task_obs_begin()
     trace = _load_packed_trace(trace_path, as_stream=as_stream)
     if shard_spec is not None:
         shard, num_shards, total_length = shard_spec
@@ -178,7 +202,7 @@ def _run_packed_task(
             total_length,
             window_size=window_size,
         )
-        return key, part, _task_telemetry_snapshot()
+        return key, part, _task_obs_finish(start)
     result = run_llc(
         trace,
         factory(),
@@ -189,7 +213,7 @@ def _run_packed_task(
         run_label=str(key),
         window_size=window_size,
     )
-    return key, result, _task_telemetry_snapshot()
+    return key, result, _task_obs_finish(start)
 
 
 def _run_shared_task(
@@ -204,7 +228,7 @@ def _run_shared_task(
     manifest_dir: str | None,
 ):
     """Worker entry: one shared-LLC mix run against packed thread traces."""
-    _task_telemetry_begin()
+    start = _task_obs_begin()
     traces = [_load_packed_trace(path) for path in trace_paths]
     result = run_shared_llc(
         traces,
@@ -217,7 +241,7 @@ def _run_shared_task(
         manifest_dir=manifest_dir,
         run_label=str(key),
     )
-    return key, result, _task_telemetry_snapshot()
+    return key, result, _task_obs_finish(start)
 
 
 class _FingerprintingStream(TraceStream):
@@ -284,12 +308,20 @@ def _warn_serial_fallback(
 
 
 class _GridObserver:
-    """Per-grid progress/event-log/failure bookkeeping.
+    """Per-grid progress/event-log/failure/latency bookkeeping.
 
     Wraps a :class:`ProgressReporter` (teeing every event into the
     manifest directory's ``events.jsonl`` when one is configured) and
     accumulates per-task status plus :class:`TaskFailure` records for
     the sweep-level manifest.
+
+    It is also the grid's latency observer: task dispatch times are
+    remembered so each completion can be split into queue wait (wall
+    time minus in-worker runtime) and runtime, recorded into the
+    ``grid.cell_queue_wait_s`` / ``grid.cell_runtime_s`` histograms of
+    the process-wide :data:`repro.obs.metrics.METRICS` registry — and,
+    when a manifest directory is configured, emitted as one per-cell
+    span (child of the grid's root span) in ``spans.jsonl``.
     """
 
     def __init__(
@@ -312,6 +344,13 @@ class _GridObserver:
             total, on_event=self._dispatch, label=label
         )
         self._on_event = on_event
+        self._dispatched: dict[str, float] = {}
+        self.tracer = SpanTracer.for_dir(manifest_dir)
+        # Root span for the whole grid: entering it makes every cell
+        # span emitted below a child of it (and, transitively, of any
+        # scheduler span already active); close() exits and records it.
+        self._grid_span = self.tracer.span(label, cells=total)
+        self._grid_span.__enter__()
 
     def _dispatch(self, event: ProgressEvent) -> None:
         """Tee one event into the JSONL log and the user callback."""
@@ -323,16 +362,47 @@ class _GridObserver:
     def started(self, key) -> None:
         """Record and broadcast task dispatch."""
         self.statuses[str(key)] = "started"
+        self._dispatched[str(key)] = perf_counter()
         self.reporter.started(key)
 
-    def finished(self, key) -> None:
+    def _observe_cell(self, key, status: str, runtime_s: float | None) -> None:
+        """Record one completed cell's latency split and span.
+
+        Wall time runs dispatch to completion; ``runtime_s`` is the
+        in-worker (or in-process) execution time when known, and their
+        difference is the time the task spent queued behind the pool.
+        """
+        dispatched = self._dispatched.pop(str(key), None)
+        if dispatched is None:
+            return
+        wall = perf_counter() - dispatched
+        runtime = wall if runtime_s is None else min(runtime_s, wall)
+        queue_wait = max(0.0, wall - runtime)
+        if METRICS.enabled:
+            METRICS.observe("grid.cell_runtime_s", runtime)
+            METRICS.observe("grid.cell_queue_wait_s", queue_wait)
+            METRICS.inc(f"grid.cells_{status}")
+        self.tracer.emit(
+            f"cell:{key}",
+            start_s=dispatched,
+            duration_s=wall,
+            attributes={
+                "status": status,
+                "runtime_s": runtime,
+                "queue_wait_s": queue_wait,
+            },
+        )
+
+    def finished(self, key, runtime_s: float | None = None) -> None:
         """Record and broadcast successful completion."""
         self.statuses[str(key)] = "finished"
+        self._observe_cell(key, "finished", runtime_s)
         self.reporter.finished(key)
 
     def failed(self, key, exc: BaseException) -> None:
         """Record and broadcast a task failure (kept for the manifest)."""
         self.statuses[str(key)] = "failed"
+        self._observe_cell(key, "failed", None)
         policy, workload = self._failure_context(key)
         self.failures.append(
             TaskFailure.from_exception(key, exc, policy=policy, workload=workload)
@@ -351,7 +421,9 @@ class _GridObserver:
         ]
 
     def close(self) -> None:
-        """Close the event log, if open."""
+        """Finish the grid span and close the event/span logs."""
+        self._grid_span.__exit__(None, None, None)
+        self.tracer.close()
         if self._log is not None:
             self._log.close()
 
@@ -368,6 +440,7 @@ def _run_serial_tasks(run_one, items, observer: _GridObserver | None):
     for key, value in items:
         if observer is not None:
             observer.started(key)
+        start = perf_counter()
         try:
             results[key] = run_one(key, value)
         except Exception as exc:  # noqa: BLE001 — recorded, then re-raised
@@ -376,7 +449,7 @@ def _run_serial_tasks(run_one, items, observer: _GridObserver | None):
                 observer.failed(key, exc)
         else:
             if observer is not None:
-                observer.finished(key)
+                observer.finished(key, runtime_s=perf_counter() - start)
     return results, failures
 
 
@@ -389,10 +462,13 @@ def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback, observ
     Infrastructure failures (payload dir / pool setup, a broken pool)
     invoke ``serial_fallback``; exceptions raised *by a task* are
     collected as failures for the caller to record and re-raise.
-    Worker tasks return ``(key, result, telemetry_snapshot)``; non-None
-    snapshots are merged into this process's :data:`TELEMETRY` sink as
-    each future completes, so counters recorded inside workers are not
-    lost (the serial path records into the sink directly).
+    Worker tasks return ``(key, result, obs_payload)`` where the payload
+    carries the worker's telemetry and metrics snapshots plus its
+    in-worker runtime (:func:`_task_obs_finish`); non-None snapshots are
+    merged into this process's :data:`TELEMETRY` / :data:`METRICS` sinks
+    as each future completes, so counters recorded inside workers are
+    not lost (the serial path records into the sinks directly), and the
+    runtime feeds the observer's queue-wait/runtime split.
     """
     try:
         payload_dir = tempfile.TemporaryDirectory(prefix="repro-trace-")
@@ -421,7 +497,7 @@ def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback, observ
                 for future in as_completed(future_keys):
                     key = future_keys[future]
                     try:
-                        result_key, result, telemetry = future.result()
+                        result_key, result, obs_payload = future.result()
                     except BrokenProcessPool:
                         raise
                     except Exception as exc:  # noqa: BLE001 — see docstring
@@ -430,10 +506,14 @@ def _run_pooled(worker_fn, workers: int, write_payloads, serial_fallback, observ
                             observer.failed(key, exc)
                     else:
                         results[result_key] = result
-                        if telemetry is not None:
-                            TELEMETRY.merge_snapshot(telemetry)
+                        if obs_payload["telemetry"] is not None:
+                            TELEMETRY.merge_snapshot(obs_payload["telemetry"])
+                        if obs_payload["metrics"] is not None:
+                            METRICS.merge_snapshot(obs_payload["metrics"])
                         if observer is not None:
-                            observer.finished(key)
+                            observer.finished(
+                                key, runtime_s=obs_payload["runtime_s"]
+                            )
             except BrokenProcessPool:
                 # A worker *process* died (OOM-kill, sandbox teardown) —
                 # infrastructure, not a simulation error: retry serially.
@@ -714,6 +794,7 @@ def run_matrix(
             tasks=obs.task_records(),
             failures=list(obs.failures),
             telemetry=TELEMETRY.snapshot() if TELEMETRY.enabled else {},
+            metrics=METRICS.snapshot() if METRICS.enabled else {},
         )
 
     _finish_grid(observer, manifest_out, failures, sweep_manifest)
@@ -883,6 +964,7 @@ def run_mix_matrix(
             tasks=obs.task_records(),
             failures=list(obs.failures),
             telemetry=TELEMETRY.snapshot() if TELEMETRY.enabled else {},
+            metrics=METRICS.snapshot() if METRICS.enabled else {},
         )
 
     _finish_grid(observer, manifest_out, failures, sweep_manifest)

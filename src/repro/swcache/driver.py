@@ -21,6 +21,7 @@ from time import perf_counter
 
 from repro.obs.manifest import FingerprintAccumulator, Manifest
 from repro.obs.manifest import git_sha as _git_sha
+from repro.obs.metrics import METRICS
 from repro.obs.telemetry import TELEMETRY
 from repro.obs.timeseries import WindowedRecorder, _WindowFeed, active_recorder
 from repro.swcache.model import ObjectCache, ObjectCacheStats, SoftwareCachePolicy
@@ -132,7 +133,12 @@ def run_object_cache(
     feed = _WindowFeed(recorder)
     fingerprinter = FingerprintAccumulator() if manifest_dir is not None else None
     total_accesses = 0
+    # Per-chunk (not per-access) latency gating: one enabled test and at
+    # most one histogram observation per chunk, so the disabled path
+    # stays inside the telemetry overhead budget.
+    observe_chunks = METRICS.enabled
     for chunk in stream.chunks():
+        chunk_start = perf_counter() if observe_chunks else 0.0
         obj_chunk = ObjectTrace.from_trace(chunk, position_offset=total_accesses)
         for sub, take in feed.slices(obj_chunk):
             _simulate_slice(cache, sub)
@@ -140,6 +146,8 @@ def run_object_cache(
         total_accesses += len(obj_chunk)
         if fingerprinter is not None:
             fingerprinter.update(obj_chunk)
+        if observe_chunks:
+            METRICS.observe("swcache.chunk_s", perf_counter() - chunk_start)
     feed.finish()
     wall_time_s = perf_counter() - start
     extra: dict = {}

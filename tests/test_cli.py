@@ -138,3 +138,30 @@ class TestObservability:
         )
         assert code == 0
         assert list(tmp_path.glob("*.json"))
+
+    def test_obs_trace_renders_span_tree(self, capsys, tmp_path):
+        from repro.obs.spans import SpanTracer
+
+        with SpanTracer.for_dir(tmp_path) as tracer:
+            with tracer.span("job"):
+                with tracer.span("run-grid"):
+                    pass
+        assert main(["obs", "trace", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "job" in out and "run-grid" in out
+        assert "critical path" in out
+
+    def test_obs_trace_missing_log(self, capsys, tmp_path):
+        assert main(["obs", "trace", str(tmp_path)]) == 1
+        assert "no span log" in capsys.readouterr().err
+
+    def test_top_and_scrape_need_a_daemon(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_ROOT", raising=False)
+        # no --root and no env → usage error before any socket I/O
+        with pytest.raises(SystemExit, match="--root"):
+            main(["top", "--once"])
+        # a root without a live daemon → clean failure, not a traceback
+        assert main(["top", "--root", str(tmp_path), "--once"]) == 1
+        assert "top failed" in capsys.readouterr().err
+        assert main(["obs", "scrape", "--root", str(tmp_path), "--prom"]) == 1
+        assert "scrape failed" in capsys.readouterr().err

@@ -302,7 +302,9 @@ class TestTelemetry:
             pass
         snapshot = telemetry.snapshot()
         assert snapshot["counters"] == {"hits": 3}
-        assert snapshot["timers"]["phase"] == {"calls": 2, "total_s": 1.0}
+        assert snapshot["timers"]["phase"] == {
+            "calls": 2, "total_s": 1.0, "min_s": 0.25, "max_s": 0.75
+        }
         assert snapshot["timers"]["spanned"]["calls"] == 1
         telemetry.reset()
         assert telemetry.snapshot() == {"counters": {}, "timers": {}}

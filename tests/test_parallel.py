@@ -354,11 +354,25 @@ class TestWorkerTelemetry:
         sink.record("t", 0.5)
         sink.merge_snapshot(
             {"counters": {"a": 3, "b": 1},
-             "timers": {"t": {"calls": 2, "total_s": 1.0},
-                        "u": {"calls": 1, "total_s": 0.25}}}
+             "timers": {"t": {"calls": 2, "total_s": 1.0,
+                              "min_s": 0.4, "max_s": 0.6},
+                        "u": {"calls": 1, "total_s": 0.25,
+                              "min_s": 0.25, "max_s": 0.25}}}
         )
         assert sink.counters == {"a": 5, "b": 1}
-        assert sink.timers == {"t": [3, 1.5], "u": [1, 0.25]}
+        assert sink.timers == {"t": [3, 1.5, 0.4, 0.6],
+                               "u": [1, 0.25, 0.25, 0.25]}
+
+    def test_merge_snapshot_tolerates_pre_min_max_payloads(self):
+        from repro.obs.telemetry import Telemetry
+
+        sink = Telemetry(enabled=True)
+        # PR-9-era snapshots carry only calls/total: the mean stands in
+        # for the missing bounds so merged min/max stay conservative.
+        sink.merge_snapshot(
+            {"counters": {}, "timers": {"t": {"calls": 2, "total_s": 1.0}}}
+        )
+        assert sink.timers == {"t": [2, 1.0, 0.5, 0.5]}
 
     def test_merge_snapshot_works_while_disabled(self):
         from repro.obs.telemetry import Telemetry

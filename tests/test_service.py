@@ -499,6 +499,65 @@ class TestServiceDaemon:
         assert fixed["state"] == "done"
         assert fixed["skipped_cells"] == 1 and fixed["ran_cells"] == 1
 
+    def test_stats_verb_reports_queue_jobs_and_latencies(self, tmp_path):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()  # the registry is process-global; drop counts
+        # accumulated by earlier in-process daemon tests
+
+        async def scenario():
+            service = SweepService(tmp_path, install_signal_handlers=False)
+            await service.start()
+            try:
+                def client_side():
+                    with ServiceClient(service_socket(tmp_path)) as client:
+                        idle = client.stats()
+                        _submit_and_wait(client, self._spec())
+                        _submit_and_wait(client, self._spec())  # all-skip
+                        busy = client.stats()
+                        return idle, busy
+
+                return await asyncio.to_thread(client_side)
+            finally:
+                await service.stop()
+
+        idle, busy = asyncio.run(scenario())
+        assert idle["ok"] and idle["queue_depth"] == 0
+        assert idle["jobs_by_state"] == {}
+        assert idle["running"] is None and idle["running_cell"] is None
+        # after one real run + one fully resumed run
+        assert busy["queue_depth"] == 0
+        assert busy["jobs_by_state"] == {"done": 2}
+        assert busy["running"] is None
+        assert busy["skipped_cells_total"] == 2
+        runtime = busy["percentiles"]["service.job_runtime_s"]
+        assert runtime["count"] == 2
+        assert runtime["p50"] is not None and runtime["p99"] is not None
+        cell = busy["percentiles"]["grid.cell_runtime_s"]
+        assert cell["count"] == 2  # two policies ran in the first job
+        assert busy["metrics"]["counters"]["service.jobs_done"] == 2
+        # the gauges reflect the state at scrape time
+        assert busy["metrics"]["gauges"]["service.queue_depth"] == 0
+
+    def test_jobs_listing_carries_queue_wait_and_runtime(self, tmp_path):
+        async def scenario():
+            service = SweepService(tmp_path, install_signal_handlers=False)
+            await service.start()
+            try:
+                def client_side():
+                    with ServiceClient(service_socket(tmp_path)) as client:
+                        _submit_and_wait(client, self._spec())
+                        return client.jobs()
+
+                return await asyncio.to_thread(client_side)
+            finally:
+                await service.stop()
+
+        jobs = asyncio.run(scenario())
+        (job,) = jobs
+        assert job["queue_wait_s"] is not None and job["queue_wait_s"] >= 0.0
+        assert job["runtime_s"] is not None and job["runtime_s"] > 0.0
+
 
 @pytest.mark.slow
 class TestServiceProcess:

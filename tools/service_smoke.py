@@ -11,7 +11,10 @@ and the real unix-socket protocol:
 5. restart the daemon, watch the job to completion,
 6. assert every cell is accounted for (skipped + ran == total), the
    skipped count equals the manifests that survived the kill, and the
-   namespace holds exactly one cell manifest per policy.
+   namespace holds exactly one cell manifest per policy,
+7. hit the live daemon's ``stats`` verb (queue depth, jobs-by-state,
+   latency percentiles) and run ``repro obs scrape --prom`` once,
+   validating the Prometheus text exposition.
 
 Exits non-zero (with a diagnostic) on any violation. Usage::
 
@@ -86,6 +89,46 @@ def cell_manifests(namespace_dir: Path) -> list:
     return [m for m in scan_manifests(namespace_dir).manifests if m.kind == "llc"]
 
 
+def verify_stats_and_scrape(root: Path) -> None:
+    """Hit the live daemon's ``stats`` verb and ``repro obs scrape --prom``.
+
+    The daemon must answer with queue depth, jobs-by-state, and latency
+    percentiles, and the Prometheus scrape must emit text exposition —
+    the observability acceptance surface of the live service.
+    """
+    with ServiceClient(service_socket(root)) as client:
+        stats = client.stats()
+    if not stats.get("ok"):
+        fail(f"stats verb refused: {stats}")
+    for key in ("queue_depth", "jobs_by_state", "percentiles", "metrics"):
+        if key not in stats:
+            fail(f"stats payload missing {key!r}: {sorted(stats)}")
+    runtime = stats["percentiles"].get("service.job_runtime_s")
+    if not runtime or not runtime.get("count"):
+        fail(f"stats has no job runtime histogram: {stats['percentiles']}")
+    print(
+        f"[smoke] stats OK: queue={stats['queue_depth']} "
+        f"jobs={stats['jobs_by_state']} "
+        f"job p50={runtime['p50']:.3f}s p99={runtime['p99']:.3f}s"
+    )
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    scrape = subprocess.run(
+        [sys.executable, "-m", "repro", "obs", "scrape",
+         "--root", str(root), "--prom"],
+        env=env,
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    if scrape.returncode != 0:
+        fail(f"obs scrape --prom exited {scrape.returncode}: {scrape.stderr}")
+    if "# TYPE repro_service_job_runtime_s histogram" not in scrape.stdout:
+        fail(f"scrape output lacks the job runtime histogram:\n{scrape.stdout}")
+    print("[smoke] prometheus scrape OK "
+          f"({len(scrape.stdout.splitlines())} lines)")
+
+
 def main() -> int:
     """Run the interrupted-then-resumed smoke scenario."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -136,6 +179,16 @@ def main() -> int:
               "resume not exercised")
         if survivors < len(POLICIES):
             fail(f"job done but only {survivors} cell manifests exist")
+        proc = start_daemon(root)
+        try:
+            # metrics live in the daemon process: give the fresh daemon
+            # one (all-skip) job so its latency histograms are non-empty
+            with ServiceClient(service_socket(root), timeout=600) as client:
+                rerun = client.submit(spec.to_dict())
+                list(client.watch(rerun["job_id"]))
+            verify_stats_and_scrape(root)
+        finally:
+            stop_daemon(proc)
         return 0
     if record["state"] != "queued" or not record["interrupted"]:
         fail(
@@ -151,6 +204,7 @@ def main() -> int:
         with ServiceClient(service_socket(root), timeout=600) as client:
             responses = list(client.watch(job_id))
         done = responses[-1]["done"]
+        verify_stats_and_scrape(root)
     finally:
         stop_daemon(proc)
 
